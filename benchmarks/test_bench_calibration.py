@@ -1,0 +1,66 @@
+"""Calibration benchmarks (E14): fitting the cost parameters from observations.
+
+The paper says the cost parameters "can be set to a value corresponding to a
+particular GPU"; this benchmark shows the principled way to obtain them --
+fit the Boyer transfer model from a sweep of simulated transfers and fit the
+full cost-parameter vector from observed algorithm timings -- and reports the
+quality of the fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import VectorAddition
+from repro.core.calibration import (
+    calibrate_cost_parameters,
+    calibrate_transfer_model,
+    feature_vector,
+)
+from repro.core.presets import GTX_650
+from repro.core.transfer import TransferDirection
+from repro.simulator import DeviceConfig, TransferEngine
+from repro.workloads import transfer_size_sweep
+
+
+def test_transfer_model_calibration(benchmark):
+    """Fit α and β from simulated host→device copies (Boyer-style calibration)."""
+    config = DeviceConfig.gtx650()
+    engine = TransferEngine(config)
+    sizes = transfer_size_sweep(1 << 12, 1 << 24, points=10)
+    times = [engine.duration(int(n), TransferDirection.HOST_TO_DEVICE) for n in sizes]
+
+    result = benchmark.pedantic(
+        lambda: calibrate_transfer_model(sizes, np.ones_like(sizes), times),
+        rounds=1, iterations=1)
+    true_alpha, true_beta = engine.implied_boyer_parameters()
+    print()
+    print(f"fitted  alpha = {result.alpha:.3e} s   beta = {result.beta:.3e} s/word")
+    print(f"link    alpha = {true_alpha:.3e} s   beta = {true_beta:.3e} s/word")
+    print(f"R^2 = {result.r_squared:.6f}")
+    assert result.r_squared > 0.999
+    assert abs(result.beta - true_beta) / true_beta < 0.05
+
+
+def test_cost_parameter_calibration(benchmark):
+    """Fit γ, λ, σ, α, β from observed vector-addition timings."""
+    preset = GTX_650
+    algorithm = VectorAddition()
+    sizes = [200_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000]
+    observation = algorithm.observe_sweep(sizes, config=DeviceConfig.gtx650())
+    metrics_list = [algorithm.metrics(n, preset.machine) for n in sizes]
+
+    result = benchmark.pedantic(
+        lambda: calibrate_cost_parameters(
+            metrics_list, observation.total_times, preset.machine,
+            preset.occupancy, nominal=preset.parameters),
+        rounds=1, iterations=1)
+    print()
+    print("fitted parameters:", result.parameters)
+    print("nominal preset   :", preset.parameters)
+    print(f"R^2 = {result.r_squared:.6f}")
+    assert result.r_squared > 0.99
+    predicted = [result.predict(feature_vector(m, preset.machine, preset.occupancy))
+                 for m in metrics_list]
+    errors = np.abs(np.array(predicted) - np.array(observation.total_times))
+    assert errors.max() / max(observation.total_times) < 0.2

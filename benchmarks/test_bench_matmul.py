@@ -1,0 +1,33 @@
+"""Benchmarks regenerating Figure 5 (matrix multiplication)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5, render_figure
+
+
+def _run(benchmark, comparison, key):
+    def build():
+        return figure5(comparison)[key]
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    return series
+
+
+def test_figure5a_predicted_costs(benchmark, paper_comparisons):
+    """Figure 5a: ATGPU vs SWGPU predicted cost for n = 32 .. 1024."""
+    series = _run(benchmark, paper_comparisons["matrix_multiplication"], "5a")
+    atgpu = series.series["ATGPU"]
+    # Cost grows super-linearly in the matrix side (O(n^3) work).
+    assert atgpu[-1] / atgpu[0] > 100
+
+
+def test_figure5b_observed_times(benchmark, paper_comparisons):
+    """Figure 5b: observed total vs kernel time -- nearly identical curves."""
+    series = _run(benchmark, paper_comparisons["matrix_multiplication"], "5b")
+    total, kernel = series.series["Total"], series.series["Kernel"]
+    assert (total >= kernel).all()
+    # At the largest sizes the kernel accounts for almost all of the total,
+    # the paper's "model not needed here" case.
+    assert kernel[-1] / total[-1] > 0.75

@@ -1,0 +1,79 @@
+"""Occupancy / parametrisation ablations (E15).
+
+Two design choices of the cost model are ablated:
+
+* **Expression 2 vs Expression 1** -- how much the occupancy-scaled GPU-cost
+  differs from the perfect-GPU cost as the number of physical MPs ``k'`` and
+  the block limit ``H`` vary.
+* **λ as raw latency vs bandwidth-amortised cost** -- the presets use a
+  bandwidth-amortised λ (see ``repro.core.presets``); this ablation shows
+  that with a raw 400-800 cycle latency the kernel term dwarfs the transfer
+  term and the ATGPU/SWGPU distinction (the paper's whole point) disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.algorithms import VectorAddition
+from repro.core.analysis import analyse_metrics
+from repro.core.occupancy import OccupancyModel
+from repro.core.presets import GTX_650
+
+
+def test_occupancy_ablation(benchmark):
+    """GPU-cost vs perfect cost across physical MP counts and block limits."""
+    algorithm = VectorAddition()
+    n = 10_000_000
+    metrics = algorithm.metrics(n, GTX_650.machine)
+
+    def sweep():
+        rows = []
+        for physical_mps in (1, 2, 4, 8, 16):
+            for block_limit in (1, 4, 16):
+                occupancy = OccupancyModel(physical_mps=physical_mps,
+                                           hardware_block_limit=block_limit)
+                report = analyse_metrics(metrics, GTX_650.machine,
+                                         GTX_650.parameters, occupancy,
+                                         algorithm=algorithm.name, input_size=n)
+                rows.append((physical_mps, block_limit,
+                             report.perfect_cost, report.gpu_cost))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("k'   H    perfect cost     GPU-cost     ratio")
+    for mps, limit, perfect, gpu in rows:
+        print(f"{mps:<4d} {limit:<4d} {perfect:.6e}  {gpu:.6e}  {gpu / perfect:6.3f}")
+    # More physical MPs / higher block limits bring the GPU-cost down towards
+    # the perfect cost; it never goes below it.
+    assert all(gpu >= perfect * (1 - 1e-12) for _, _, perfect, gpu in rows)
+    costs_by_mps = {mps: gpu for mps, limit, _, gpu in rows if limit == 16}
+    assert costs_by_mps[16] <= costs_by_mps[1]
+
+
+def test_lambda_parametrisation_ablation(benchmark):
+    """Raw-latency λ drowns the transfer terms; amortised λ preserves them."""
+    algorithm = VectorAddition()
+    n = 10_000_000
+    metrics = algorithm.metrics(n, GTX_650.machine)
+
+    def evaluate():
+        rows = []
+        for lam in (GTX_650.parameters.lam, 100.0, 400.0, 800.0):
+            params = replace(GTX_650.parameters, lam=lam)
+            report = analyse_metrics(metrics, GTX_650.machine, params,
+                                     GTX_650.occupancy,
+                                     algorithm=algorithm.name, input_size=n)
+            rows.append((lam, report.predicted_transfer_proportion))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print()
+    print("lambda (cycles/block)   predicted transfer proportion ΔT")
+    for lam, delta in rows:
+        print(f"{lam:>10.1f}              {delta:.3f}")
+    amortised_delta = rows[0][1]
+    raw_latency_delta = rows[-1][1]
+    assert amortised_delta > 0.7        # transfer dominates, as the paper plots
+    assert raw_latency_delta < 0.1      # raw latency hides the transfer entirely

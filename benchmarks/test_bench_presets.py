@@ -1,0 +1,41 @@
+"""Other-GPU presets (E16): the paper's "verify the model using other GPUs".
+
+Re-evaluates the vector-addition and matrix-multiplication predictions under
+each GPU preset and checks the qualitative conclusions transfer: faster
+hosts links shrink the transfer share, more SMs shrink the occupancy-scaled
+kernel term.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import MatrixMultiplication, VectorAddition
+from repro.core.presets import PRESETS
+
+
+def test_preset_sweep(benchmark):
+    """Predicted transfer proportions per GPU preset."""
+    vecadd, matmul = VectorAddition(), MatrixMultiplication()
+
+    def evaluate():
+        rows = []
+        for name, preset in sorted(PRESETS.items()):
+            vec_report = vecadd.analyse(10_000_000, preset)
+            mat_report = matmul.analyse(1024, preset)
+            rows.append((name,
+                         vec_report.predicted_transfer_proportion,
+                         mat_report.predicted_transfer_proportion,
+                         vec_report.gpu_cost, mat_report.gpu_cost))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print()
+    print("preset     ΔT vecadd   ΔT matmul   vecadd cost (s)   matmul cost (s)")
+    for name, vec_delta, mat_delta, vec_cost, mat_cost in rows:
+        print(f"{name:<10s} {vec_delta:9.3f}  {mat_delta:10.3f}   "
+              f"{vec_cost:14.6f}   {mat_cost:14.6f}")
+    by_name = {row[0]: row for row in rows}
+    # On every GPU the transfer share of vector addition exceeds matmul's.
+    for name, vec_delta, mat_delta, *_ in rows:
+        assert vec_delta > mat_delta
+    # The paper's GTX 650 (2 SMs, slow link) has the highest vecadd cost.
+    assert by_name["gtx650"][3] == max(row[3] for row in rows)

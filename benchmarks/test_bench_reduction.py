@@ -1,0 +1,37 @@
+"""Benchmarks regenerating Figure 4 (reduction)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4, render_figure
+
+
+def _run(benchmark, comparison, key):
+    def build():
+        return figure4(comparison)[key]
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    return series
+
+
+def test_figure4a_predicted_costs(benchmark, paper_comparisons):
+    """Figure 4a: ATGPU vs SWGPU predicted cost, n = 2^16 .. 2^26."""
+    series = _run(benchmark, paper_comparisons["reduction"], "4a")
+    assert (series.series["ATGPU"] > series.series["SWGPU"]).all()
+
+
+def test_figure4b_observed_times(benchmark, paper_comparisons):
+    """Figure 4b: observed total vs kernel time for the multi-round reduction."""
+    series = _run(benchmark, paper_comparisons["reduction"], "4b")
+    total, kernel = series.series["Total"], series.series["Kernel"]
+    assert (total > kernel).all()
+    transfer_share = ((total - kernel) / total).mean()
+    # The paper reports ~35 % of the total time spent on transfer.
+    assert 0.15 < transfer_share < 0.65
+
+
+def test_figure4c_normalised(benchmark, paper_comparisons):
+    """Figure 4c: normalised growth comparison."""
+    series = _run(benchmark, paper_comparisons["reduction"], "4c")
+    assert set(series.series) == {"ATGPU", "SWGPU", "Total", "Kernel"}

@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Figure 6 (transfer proportions ΔE vs ΔT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6, render_figure
+
+
+def _run(benchmark, comparisons, key):
+    def build():
+        return figure6(comparisons)[key]
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    return series
+
+
+def test_figure6a_vector_addition(benchmark, paper_comparisons):
+    """Figure 6a: Δ for vector addition -- both curves high and close."""
+    series = _run(benchmark, paper_comparisons, "6a")
+    observed = series.series["ΔE (Observed)"]
+    predicted = series.series["ΔT (Predicted)"]
+    assert observed.mean() > 0.6
+    assert np.abs(observed - predicted).mean() < 0.15
+
+
+def test_figure6b_reduction(benchmark, paper_comparisons):
+    """Figure 6b: Δ for reduction -- intermediate transfer share."""
+    series = _run(benchmark, paper_comparisons, "6b")
+    observed = series.series["ΔE (Observed)"]
+    assert 0.15 < observed.mean() < 0.65
+
+
+def test_figure6c_matrix_multiplication(benchmark, paper_comparisons):
+    """Figure 6c: Δ for matrix multiplication -- falls towards zero with n."""
+    series = _run(benchmark, paper_comparisons, "6c")
+    observed = series.series["ΔE (Observed)"]
+    assert observed[-1] < observed[0]
+    assert observed[-1] < 0.2

@@ -1,0 +1,45 @@
+"""Benchmarks regenerating Figure 3 (vector addition).
+
+Each benchmark rebuilds one subfigure's series from the shared sweep and
+prints the rows the paper plots: the predicted ATGPU/SWGPU costs (3a), the
+observed total/kernel times (3b), and the normalised curves (3c).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure3, render_figure
+
+
+def _run(benchmark, comparison, key):
+    def build():
+        figures = figure3(comparison)
+        return figures[key]
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    return series
+
+
+def test_figure3a_predicted_costs(benchmark, paper_comparisons):
+    """Figure 3a: ATGPU vs SWGPU predicted cost, n = 1e6 .. 1e7."""
+    series = _run(benchmark, paper_comparisons["vector_addition"], "3a")
+    atgpu, swgpu = series.series["ATGPU"], series.series["SWGPU"]
+    assert (atgpu > swgpu).all()
+    assert atgpu[-1] / atgpu[0] > 5  # roughly linear growth over a 10x sweep
+
+
+def test_figure3b_observed_times(benchmark, paper_comparisons):
+    """Figure 3b: observed total vs kernel time (simulated GTX-650)."""
+    series = _run(benchmark, paper_comparisons["vector_addition"], "3b")
+    total, kernel = series.series["Total"], series.series["Kernel"]
+    assert (total > kernel).all()
+    # Data transfer dominates the total running time (the paper reports 84 %).
+    assert ((total - kernel) / total).mean() > 0.6
+
+
+def test_figure3c_normalised(benchmark, paper_comparisons):
+    """Figure 3c: all four curves normalised to [0, 1]."""
+    series = _run(benchmark, paper_comparisons["vector_addition"], "3c")
+    for curve in series.series.values():
+        assert curve.min() == 0.0 and curve.max() == 1.0

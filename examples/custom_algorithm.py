@@ -1,0 +1,114 @@
+"""Design a new algorithm (SAXPY) directly in the ATGPU pseudocode DSL.
+
+The paper presents ATGPU as a *design* tool: write the pseudocode, analyse
+it, and only then decide whether the kernel is worth implementing given how
+much of its running time data transfer will consume.  This example does
+exactly that for SAXPY (``y = a·x + y``):
+
+1. build the pseudocode program with executable semantics,
+2. validate it against the machine's rules and capacity limits,
+3. statically analyse it into metrics and evaluate the cost functions,
+4. execute the very same program on the simulator through the interpreter
+   and compare the observed transfer share with the prediction.
+
+Run with::
+
+    python examples/custom_algorithm.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import GTX_650, analyse_metrics
+from repro.pseudocode import (
+    GlobalToShared,
+    KernelLaunch,
+    Program,
+    ProgramInterpreter,
+    Round,
+    SharedCompute,
+    SharedToGlobal,
+    TransferIn,
+    TransferOut,
+    analyse_program,
+    global_var,
+    host_var,
+    render_program,
+    shared_var,
+    validate_program,
+)
+from repro.simulator import DeviceConfig, GPUDevice
+
+
+def build_saxpy(n: int, b: int, a_scalar: float) -> Program:
+    """SAXPY pseudocode: one thread per element, three scoped variables."""
+    blocks = -(-n // b)
+
+    def segment(block: int, lanes: np.ndarray, params):
+        indices = block * b + lanes
+        return indices[indices < int(params["n"])]
+
+    kernel = KernelLaunch(
+        grid_blocks=blocks,
+        shared_declarations=(shared_var("_x", b), shared_var("_y", b)),
+        label="saxpy kernel",
+        body=(
+            GlobalToShared("_x", "x", global_index=segment),
+            GlobalToShared("_y", "y", global_index=segment),
+            SharedCompute(
+                "_y", "a * _x[j] + _y[j]",
+                compute=lambda shared, lanes, params: (
+                    params["a"] * shared["_x"][lanes] + shared["_y"][lanes]),
+            ),
+            SharedToGlobal("y", "_y", global_index=segment),
+        ),
+    )
+    return Program(
+        name="saxpy",
+        variables=(
+            host_var("X", n), host_var("Y", n), host_var("Out", n),
+            global_var("x", n), global_var("y", n),
+            shared_var("_x", b), shared_var("_y", b),
+        ),
+        rounds=(Round(
+            transfers_in=(TransferIn("x", "X", words=n), TransferIn("y", "Y", words=n)),
+            launches=(kernel,),
+            transfers_out=(TransferOut("Out", "y", words=n),),
+            label="saxpy",
+        ),),
+        params={"n": float(n), "b": float(b), "a": a_scalar},
+    )
+
+
+def main(n: int = 200_000, a_scalar: float = 2.5) -> None:
+    preset = GTX_650
+    program = build_saxpy(n, preset.machine.b, a_scalar)
+
+    print(render_program(program))
+    validate_program(program, preset.machine)
+    print("\nProgram validates against the ATGPU notation and machine limits.")
+
+    metrics = analyse_program(program, preset.machine)
+    report = analyse_metrics(metrics, preset.machine, preset.parameters,
+                             preset.occupancy, algorithm="saxpy", input_size=n)
+    print(f"\nRounds R = {report.num_rounds}, I/O blocks = {metrics.total_io_blocks:.0f}, "
+          f"transfer words = {metrics.total_transfer_words:.0f}")
+    print(f"ATGPU GPU-cost = {report.gpu_cost:.6f} s, SWGPU cost = {report.swgpu_cost:.6f} s")
+    print(f"Predicted transfer proportion ΔT = {report.predicted_transfer_proportion:.3f}")
+
+    device = GPUDevice(DeviceConfig.gtx650())
+    rng = np.random.default_rng(0)
+    x, y = rng.normal(size=n), rng.normal(size=n)
+    result = ProgramInterpreter(device).execute(program, {"X": x, "Y": y})
+    assert np.allclose(result.outputs["Out"], a_scalar * x + y)
+    print(f"\nSimulated run: total {result.total_time_s * 1e3:.3f} ms, "
+          f"ΔE = {result.observed_transfer_proportion:.3f} (result verified)")
+    print("\nLike vector addition, SAXPY is transfer-bound: the model says the")
+    print("kernel is not worth optimising before the transfers are.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)

@@ -1,0 +1,46 @@
+"""Regenerate the paper's full evaluation (Figures 3-6, Table I, Section IV-D).
+
+Runs the three experiments of Section IV -- vector addition, reduction and
+matrix multiplication -- comparing the ATGPU and SWGPU predictions against
+the simulated GTX-650 observations, and prints every figure's series, Table I
+and the summary statistics.
+
+Run with::
+
+    python examples/paper_evaluation.py            # reduced sweeps (fast)
+    python examples/paper_evaluation.py --paper    # the paper's exact sweeps
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ExperimentRunner,
+    all_figures,
+    render_figures,
+    render_summary,
+    summary_statistics,
+    table1,
+)
+
+
+def main(scale: str = "small") -> None:
+    print(f"Running the Section IV evaluation at '{scale}' scale ...")
+    runner = ExperimentRunner(scale=scale)
+    comparisons = runner.run_paper_evaluation()
+
+    print()
+    print("Table I — comparison of GPU abstract models")
+    print(table1(rendered=True))
+
+    print()
+    print(render_figures(all_figures(comparisons), precision=5))
+
+    print()
+    print("Section IV-D summary statistics (measured vs paper)")
+    print(render_summary(summary_statistics(comparisons)))
+
+
+if __name__ == "__main__":
+    main("paper" if "--paper" in sys.argv[1:] else "small")

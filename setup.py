@@ -1,0 +1,13 @@
+"""Setuptools shim so `pip install -e . --no-use-pep517` works offline.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so the PEP 517 editable-install path (which requires
+``bdist_wheel``) is unavailable.  Keeping a minimal ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
+classic ``setup.py develop`` code path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""ATGPU: an abstract GPU model with host/device data transfer.
+
+Reproduction of Carroll & Wong, *An Improved Abstract GPU Model with Data
+Transfer* (ICPP Workshops 2017).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the ATGPU model itself: machine, metrics, transfer
+  model, cost functions, SWGPU/AGPU baselines, prediction and calibration.
+* :mod:`repro.models` -- the classical parallel models (PRAM, BSP, BSPRAM,
+  PEM) the paper surveys, with an extended feature comparison.
+* :mod:`repro.simulator` -- an executable abstract-GPU simulator used as the
+  "observed" side of every experiment (the GTX 650 substitute).
+* :mod:`repro.pseudocode` -- the ATGPU pseudocode notation as an embedded
+  DSL with validation, static analysis, interpretation and rendering.
+* :mod:`repro.algorithms` -- the evaluated computational problems (vector
+  addition, reduction, matrix multiplication) plus extension problems.
+* :mod:`repro.workloads` -- input generators and the paper's sweeps.
+* :mod:`repro.experiments` -- the harness that regenerates every figure and
+  table of the evaluation section.
+
+Quick start::
+
+    from repro import VectorAddition, ExperimentRunner
+
+    runner = ExperimentRunner(scale="small")
+    comparison = runner.run_algorithm(VectorAddition())
+    print(comparison.summary())
+"""
+
+from repro.algorithms import (
+    GPUAlgorithm,
+    Histogram,
+    MatrixMultiplication,
+    PrefixSum,
+    Reduction,
+    SpMV,
+    Stencil1D,
+    VectorAddition,
+    create,
+)
+from repro.core import (
+    ATGPUCostModel,
+    ATGPUMachine,
+    AnalysisReport,
+    CostParameters,
+    GTX_650,
+    OccupancyModel,
+    SWGPUCostModel,
+    analyse_metrics,
+    get_preset,
+)
+from repro.experiments import ExperimentRunner, all_figures, summary_statistics, table1
+from repro.simulator import DeviceConfig, GPUDevice
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUAlgorithm",
+    "Histogram",
+    "MatrixMultiplication",
+    "PrefixSum",
+    "Reduction",
+    "SpMV",
+    "Stencil1D",
+    "VectorAddition",
+    "create",
+    "ATGPUCostModel",
+    "ATGPUMachine",
+    "AnalysisReport",
+    "CostParameters",
+    "GTX_650",
+    "OccupancyModel",
+    "SWGPUCostModel",
+    "analyse_metrics",
+    "get_preset",
+    "ExperimentRunner",
+    "all_figures",
+    "summary_statistics",
+    "table1",
+    "DeviceConfig",
+    "GPUDevice",
+    "__version__",
+]

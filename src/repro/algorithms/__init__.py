@@ -1,0 +1,59 @@
+"""Computational problems analysed and executed on the ATGPU model.
+
+The three paper algorithms (vector addition, reduction, matrix
+multiplication) each provide the complete pipeline of Section IV — hand
+analysis, pseudocode, simulator kernels, reference implementation — and the
+extension algorithms (prefix sum, stencil, histogram, SpMV) cover the
+"further computational problems" the paper's conclusion calls for.
+"""
+
+from repro.algorithms.base import GPUAlgorithm, ObservationRecord, RunResult
+from repro.algorithms.histogram import BlockHistogramKernel, Histogram, MergePartialsKernel
+from repro.algorithms.matrix_multiplication import (
+    MatrixMultiplication,
+    MatrixMultiplicationKernel,
+)
+from repro.algorithms.reduction import Reduction, ReductionRoundKernel, reduction_rounds
+from repro.algorithms.registry import (
+    ALL_ALGORITHMS,
+    EXTENSION_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    all_algorithm_names,
+    create,
+    extension_algorithm_names,
+    paper_algorithm_names,
+)
+from repro.algorithms.scan import AddOffsetsKernel, BlockScanKernel, PrefixSum
+from repro.algorithms.spmv import CSRSpMVKernel, SpMV
+from repro.algorithms.stencil import Stencil1D, StencilKernel
+from repro.algorithms.vector_addition import VectorAddition, VectorAdditionKernel
+
+__all__ = [
+    "GPUAlgorithm",
+    "ObservationRecord",
+    "RunResult",
+    "BlockHistogramKernel",
+    "Histogram",
+    "MergePartialsKernel",
+    "MatrixMultiplication",
+    "MatrixMultiplicationKernel",
+    "Reduction",
+    "ReductionRoundKernel",
+    "reduction_rounds",
+    "ALL_ALGORITHMS",
+    "EXTENSION_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "all_algorithm_names",
+    "create",
+    "extension_algorithm_names",
+    "paper_algorithm_names",
+    "AddOffsetsKernel",
+    "BlockScanKernel",
+    "PrefixSum",
+    "CSRSpMVKernel",
+    "SpMV",
+    "Stencil1D",
+    "StencilKernel",
+    "VectorAddition",
+    "VectorAdditionKernel",
+]

@@ -1,0 +1,185 @@
+"""Common protocol for the computational problems evaluated on ATGPU.
+
+Each algorithm in this package exposes the full pipeline the paper applies
+to its three example problems:
+
+* hand-derived **model metrics** (Section IV's analyses) via :meth:`GPUAlgorithm.metrics`,
+* the **pseudocode** listing via :meth:`GPUAlgorithm.build_pseudocode`,
+* an executable **kernel implementation** on the simulator via :meth:`GPUAlgorithm.run`,
+* a NumPy **reference** for correctness checking via :meth:`GPUAlgorithm.reference`,
+* convenience wrappers that produce the per-size prediction
+  (:meth:`GPUAlgorithm.analyse`) and the per-size simulated observation
+  (:meth:`GPUAlgorithm.observe`), plus whole-sweep versions used by the
+  experiment harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analysis import AnalysisReport, analyse_metrics
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics
+from repro.core.prediction import (
+    SweepObservation,
+    SweepPrediction,
+    predict_sweep,
+)
+from repro.core.presets import DEFAULT_PRESET, GPUPreset
+from repro.pseudocode.program import Program
+from repro.simulator.config import DeviceConfig
+from repro.simulator.device import GPUDevice
+
+
+@dataclass
+class RunResult:
+    """Outcome of running an algorithm end to end on the simulator."""
+
+    outputs: Dict[str, np.ndarray]
+    total_time_s: float
+    kernel_time_s: float
+    transfer_time_s: float
+    sync_time_s: float
+
+    @property
+    def observed_transfer_proportion(self) -> float:
+        """``ΔE`` -- share of the total time spent transferring."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.transfer_time_s / self.total_time_s
+
+
+@dataclass
+class ObservationRecord:
+    """One observed (simulated) data point of a sweep."""
+
+    input_size: int
+    total_time_s: float
+    kernel_time_s: float
+    transfer_time_s: float
+    sync_time_s: float
+    correct: Optional[bool] = None
+
+    @property
+    def observed_transfer_proportion(self) -> float:
+        """``ΔE`` of this data point."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.transfer_time_s / self.total_time_s
+
+
+class GPUAlgorithm(abc.ABC):
+    """A computational problem analysed and executed on the ATGPU model."""
+
+    #: Registry / report name of the algorithm.
+    name: str = "algorithm"
+    #: Human-readable description.
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Workload
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def default_sizes(self) -> List[int]:
+        """The input sizes of the paper's sweep for this problem."""
+
+    @abc.abstractmethod
+    def generate_input(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Generate a random input instance of size ``n``."""
+
+    @abc.abstractmethod
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """NumPy reference implementation used for correctness checks."""
+
+    # ------------------------------------------------------------------ #
+    # Model-side (prediction)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
+        """Hand-derived ATGPU metrics of the algorithm at size ``n``."""
+
+    @abc.abstractmethod
+    def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
+        """The algorithm's ATGPU pseudocode listing at size ``n``."""
+
+    def analyse(self, n: int, preset: GPUPreset = DEFAULT_PRESET) -> AnalysisReport:
+        """Predict the algorithm's cost at size ``n`` on a GPU preset."""
+        return analyse_metrics(
+            self.metrics(n, preset.machine),
+            preset.machine,
+            preset.parameters,
+            preset.occupancy,
+            algorithm=self.name,
+            input_size=n,
+        )
+
+    def predict_sweep(
+        self,
+        sizes: Optional[Sequence[int]] = None,
+        preset: GPUPreset = DEFAULT_PRESET,
+    ) -> SweepPrediction:
+        """ATGPU / SWGPU predictions over a sweep of input sizes."""
+        sizes = list(sizes) if sizes is not None else self.default_sizes()
+        return predict_sweep(
+            algorithm=self.name,
+            sizes=sizes,
+            metrics_factory=lambda n: self.metrics(n, preset.machine),
+            machine=preset.machine,
+            parameters=preset.parameters,
+            occupancy=preset.occupancy,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Simulator-side (observation)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def run(self, device: GPUDevice, inputs: Dict[str, np.ndarray]) -> RunResult:
+        """Execute the algorithm end to end on a simulated device."""
+
+    def observe(
+        self,
+        n: int,
+        config: Optional[DeviceConfig] = None,
+        seed: int = 0,
+        check: bool = False,
+    ) -> ObservationRecord:
+        """Run the algorithm at size ``n`` on a fresh device and time it."""
+        device = GPUDevice(config or DeviceConfig.gtx650())
+        inputs = self.generate_input(n, seed=seed)
+        result = self.run(device, inputs)
+        correct: Optional[bool] = None
+        if check:
+            expected = self.reference(inputs)
+            correct = all(
+                np.allclose(result.outputs[key], expected[key])
+                for key in expected
+            )
+        return ObservationRecord(
+            input_size=n,
+            total_time_s=result.total_time_s,
+            kernel_time_s=result.kernel_time_s,
+            transfer_time_s=result.transfer_time_s,
+            sync_time_s=result.sync_time_s,
+            correct=correct,
+        )
+
+    def observe_sweep(
+        self,
+        sizes: Optional[Sequence[int]] = None,
+        config: Optional[DeviceConfig] = None,
+        seed: int = 0,
+    ) -> SweepObservation:
+        """Simulated total / kernel / transfer times over a sweep of sizes."""
+        sizes = list(sizes) if sizes is not None else self.default_sizes()
+        records = [self.observe(int(n), config=config, seed=seed) for n in sizes]
+        return SweepObservation(
+            algorithm=self.name,
+            sizes=[int(n) for n in sizes],
+            total_times=[r.total_time_s for r in records],
+            kernel_times=[r.kernel_time_s for r in records],
+            transfer_times=[r.transfer_time_s for r in records],
+        )

@@ -1,0 +1,261 @@
+"""Tree reduction on the ATGPU model (Section IV-B of the paper).
+
+The reduction of an ``n``-element vector under ``+`` is computed with the
+classic multi-round tree method (Harris, "Optimizing parallel reduction in
+CUDA"): every round, each thread block loads ``b`` elements into shared
+memory, reduces them to a single value with a log-depth in-block tree, and
+writes that value out; rounds repeat on the shrinking array of partial sums
+until one value remains.  The paper's analysis:
+
+* rounds ``R = O(log n)`` (``⌈log_b n⌉`` kernel launches);
+* per-round parallel time ``O(log b)``;
+* total I/O ``O((n/b)·(1 - (1/b)^{log n})/(1 - 1/b))`` -- the geometric sum of
+  per-round block counts;
+* global memory ``O(n)``, shared memory ``O(b)`` per block;
+* transfer ``O(α + βn)``: the input moves to the device once, the single-word
+  answer moves back at the end.
+
+The in-block tree uses the *interleaved addressing* scheme of the simple
+kernel the paper cites, which produces divergent branches; divergence is
+charged per the model's "all paths are executed" rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import GPUAlgorithm, RunResult
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.pseudocode.ast_nodes import (
+    Barrier,
+    GlobalToShared,
+    If,
+    KernelLaunch,
+    Loop,
+    SharedCompute,
+    SharedToGlobal,
+    TransferIn,
+    TransferOut,
+)
+from repro.pseudocode.program import Program, Round
+from repro.pseudocode.variables import global_var, host_var, shared_var
+from repro.simulator.device import GPUDevice
+from repro.simulator.kernel import BlockContext, KernelProgram
+from repro.simulator.memory import DeviceArray
+from repro.utils.validation import ensure_positive_int
+
+
+def reduction_rounds(n: int, b: int) -> List[int]:
+    """Sizes of the successive round inputs: ``n, ⌈n/b⌉, ... , > 1``.
+
+    The returned list has one entry per kernel launch; the final launch
+    reduces at most ``b`` values to one.
+    """
+    ensure_positive_int(n, "n")
+    ensure_positive_int(b, "b")
+    sizes = []
+    size = n
+    while size > 1:
+        sizes.append(size)
+        size = math.ceil(size / b)
+    if not sizes:
+        sizes = [n]
+    return sizes
+
+
+class ReductionRoundKernel(KernelProgram):
+    """One round of the tree reduction: ``out[i] = Σ src[i·b : (i+1)·b]``."""
+
+    name = "reduction_round_kernel"
+
+    def __init__(self, m: int, warp_width: int, src: str, dst: str) -> None:
+        self.m = ensure_positive_int(m, "m")
+        self.warp_width = ensure_positive_int(warp_width, "warp_width")
+        self.src = src
+        self.dst = dst
+
+    def grid_size(self) -> int:
+        return math.ceil(self.m / self.warp_width)
+
+    def array_names(self) -> Tuple[str, ...]:
+        return (self.src, self.dst)
+
+    def shared_words_per_block(self) -> int:
+        return self.warp_width
+
+    def run_block(self, ctx: BlockContext) -> None:
+        b = self.warp_width
+        start = ctx.block_index * b
+        count = min(b, self.m - start)
+        lanes = np.arange(count)
+        shared = ctx.shared_alloc("_s", b)
+        values = ctx.global_read(self.src, start + lanes)
+        ctx.shared_write("_s", lanes, values)
+        shared[:count] = values
+        shared[count:] = 0
+        # Interleaved-addressing tree: for stride s = 1, 2, 4, ... the lanes
+        # with lane % 2s == 0 accumulate their right neighbour.  The branch
+        # diverges, so both paths are charged (all paths executed).
+        stride = 1
+        while stride < b:
+            active = np.arange(0, b, 2 * stride)
+            active = active[active + stride < b]
+            ctx.shared_read("_s", active + stride)
+            ctx.diverge([1.0, 1.0], label=f"stride {stride} add")
+            shared[active] += shared[active + stride]
+            ctx.shared_write("_s", active, shared[active])
+            ctx.barrier()
+            stride *= 2
+        # Lane 0 writes the block's partial sum.
+        ctx.global_write(self.dst, np.array([ctx.block_index]), shared[:1])
+
+    def vectorised_result(self, arrays: Dict[str, DeviceArray]) -> None:
+        b = self.warp_width
+        grid = self.grid_size()
+        src = arrays[self.src].data[: self.m]
+        padded = np.zeros(grid * b, dtype=src.dtype)
+        padded[: self.m] = src
+        arrays[self.dst].data[:grid] = padded.reshape(grid, b).sum(axis=1)
+
+
+class Reduction(GPUAlgorithm):
+    """Sum reduction, the paper's multi-round example."""
+
+    name = "reduction"
+    description = "Tree reduction (sum) of an n-element 0/1 vector"
+
+    #: Grids larger than this are simulated via representative-block tracing.
+    _functional_limit = 4096
+
+    # ------------------------------------------------------------------ #
+    # Workload
+    # ------------------------------------------------------------------ #
+    def default_sizes(self) -> List[int]:
+        """The paper sweeps n = 2^16, 2^17, ..., 2^26."""
+        return [1 << e for e in range(16, 27)]
+
+    def generate_input(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        ensure_positive_int(n, "n")
+        rng = np.random.default_rng(seed)
+        return {"A": rng.integers(0, 2, size=n, dtype=np.int64)}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"Ans": np.array([inputs["A"].sum()], dtype=np.int64)}
+
+    # ------------------------------------------------------------------ #
+    # Model-side analysis (Section IV-B)
+    # ------------------------------------------------------------------ #
+    def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
+        ensure_positive_int(n, "n")
+        b = machine.b
+        tree_depth = max(1.0, math.log2(b))
+        sizes = reduction_rounds(n, b)
+        rounds = []
+        for index, size in enumerate(sizes):
+            blocks = math.ceil(size / b)
+            rounds.append(RoundMetrics(
+                # Load, log2(b) tree steps (divergent, so doubled), store.
+                time=2.0 + 2.0 * tree_depth,
+                # One coalesced read per block plus the partial-sum write.
+                io_blocks=2.0 * blocks,
+                inward_words=float(n) if index == 0 else 0.0,
+                inward_transactions=1 if index == 0 else 0,
+                outward_words=1.0 if index == len(sizes) - 1 else 0.0,
+                outward_transactions=1 if index == len(sizes) - 1 else 0,
+                global_words=float(n + math.ceil(n / b)),
+                shared_words_per_mp=float(b),
+                thread_blocks=blocks,
+                label=f"reduction level {index + 1} ({size} values)",
+            ))
+        return AlgorithmMetrics(rounds, name=self.name)
+
+    def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
+        ensure_positive_int(n, "n")
+        b = machine.b
+        sizes = reduction_rounds(n, b)
+        tree_depth = max(1, int(math.ceil(math.log2(b))))
+        rounds = []
+        variables = [
+            host_var("A", n),
+            host_var("Ans", 1),
+            global_var("a", n),
+            global_var("partials", max(1, math.ceil(n / b))),
+            shared_var("_s", b),
+        ]
+        for index, size in enumerate(sizes):
+            src = "a" if index % 2 == 0 else "partials"
+            dst = "partials" if index % 2 == 0 else "a"
+            blocks = math.ceil(size / b)
+            kernel = KernelLaunch(
+                grid_blocks=blocks,
+                shared_declarations=(shared_var("_s", b),),
+                label=f"reduction kernel level {index + 1}",
+                body=(
+                    GlobalToShared("_s", src, blocks_per_mp=1),
+                    Loop(
+                        count=tree_depth,
+                        var="level",
+                        body=(
+                            If(
+                                condition_description="lane mod 2^(level+1) == 0",
+                                body=(
+                                    SharedCompute("_s", "_s[lane] + _s[lane + 2^level]",
+                                                  operations=2),
+                                ),
+                            ),
+                            Barrier(),
+                        ),
+                    ),
+                    SharedToGlobal(dst, "_s", blocks_per_mp=1),
+                ),
+            )
+            rounds.append(Round(
+                transfers_in=(TransferIn(src, "A", words=n),) if index == 0 else (),
+                launches=(kernel,),
+                transfers_out=(
+                    (TransferOut("Ans", dst, words=1),)
+                    if index == len(sizes) - 1 else ()
+                ),
+                label=f"reduction level {index + 1}",
+            ))
+        return Program(
+            name="reduction",
+            variables=tuple(variables),
+            rounds=tuple(rounds),
+            params={"n": float(n), "b": float(b)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Simulator-side execution
+    # ------------------------------------------------------------------ #
+    def run(self, device: GPUDevice, inputs: Dict[str, np.ndarray]) -> RunResult:
+        a = np.asarray(inputs["A"])
+        n = a.size
+        b = device.config.warp_width
+        device.reset_timers()
+        device.memcpy_htod("a", a)
+        device.allocate("partials", max(1, math.ceil(n / b)), dtype=a.dtype)
+        src, dst = "a", "partials"
+        for size in reduction_rounds(n, b):
+            kernel = ReductionRoundKernel(size, b, src=src, dst=dst)
+            force_functional = None
+            if kernel.grid_size() > self._functional_limit:
+                force_functional = False
+            device.launch(kernel, force_functional=force_functional)
+            device.synchronise(f"reduction level ({size} values)")
+            src, dst = dst, src
+        answer = device.memcpy_dtoh_partial(src, 1)
+        result = RunResult(
+            outputs={"Ans": answer},
+            total_time_s=device.total_time_s,
+            kernel_time_s=device.kernel_time_s,
+            transfer_time_s=device.transfer_time_s,
+            sync_time_s=device.sync_time_s,
+        )
+        for name in ("a", "partials"):
+            device.free(name)
+        return result

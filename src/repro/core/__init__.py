@@ -1,0 +1,112 @@
+"""The ATGPU model core: machine, metrics, cost functions and analysis.
+
+This package is the reproduction of the paper's primary contribution
+(Sections II and III): the ``ATGPU(p, b, M, G)`` abstract machine, the
+per-round analysis metrics, the Boyer host↔device transfer model, the
+perfect-GPU and GPU cost functions (Expressions 1 and 2), the SWGPU/AGPU
+comparison baselines, sweep-level prediction, and calibration of the cost
+parameters from observed timings.
+"""
+
+from repro.core.analysis import AnalysisReport, analyse_metrics, format_report
+from repro.core.calibration import (
+    CalibrationResult,
+    TransferCalibrationResult,
+    calibrate_cost_parameters,
+    calibrate_transfer_model,
+    feature_vector,
+)
+from repro.core.comparison import (
+    AGPUAnalysis,
+    FEATURE_ROWS,
+    MODEL_COLUMNS,
+    SWGPUCostModel,
+    feature_count,
+    model_feature_table,
+    model_supports,
+    render_feature_table,
+)
+from repro.core.cost import ATGPUCostModel, CostBreakdown, CostParameters
+from repro.core.machine import ATGPUMachine, perfect_machine_for
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    CapacityError,
+    MetricsBuilder,
+    RoundMetrics,
+)
+from repro.core.occupancy import (
+    OccupancyModel,
+    blocks_per_multiprocessor,
+    wave_count,
+)
+from repro.core.prediction import (
+    PredictionComparison,
+    SweepObservation,
+    SweepPrediction,
+    predict_sweep,
+)
+from repro.core.presets import (
+    DEFAULT_PRESET,
+    GPUPreset,
+    GTX_650,
+    GTX_980,
+    GTX_1080,
+    PRESETS,
+    TESLA_K40,
+    get_preset,
+    preset_names,
+)
+from repro.core.transfer import (
+    BoyerTransferModel,
+    TransferDirection,
+    TransferEvent,
+    TransferPlan,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "analyse_metrics",
+    "format_report",
+    "CalibrationResult",
+    "TransferCalibrationResult",
+    "calibrate_cost_parameters",
+    "calibrate_transfer_model",
+    "feature_vector",
+    "AGPUAnalysis",
+    "FEATURE_ROWS",
+    "MODEL_COLUMNS",
+    "SWGPUCostModel",
+    "feature_count",
+    "model_feature_table",
+    "model_supports",
+    "render_feature_table",
+    "ATGPUCostModel",
+    "CostBreakdown",
+    "CostParameters",
+    "ATGPUMachine",
+    "perfect_machine_for",
+    "AlgorithmMetrics",
+    "CapacityError",
+    "MetricsBuilder",
+    "RoundMetrics",
+    "OccupancyModel",
+    "blocks_per_multiprocessor",
+    "wave_count",
+    "PredictionComparison",
+    "SweepObservation",
+    "SweepPrediction",
+    "predict_sweep",
+    "DEFAULT_PRESET",
+    "GPUPreset",
+    "GTX_650",
+    "GTX_980",
+    "GTX_1080",
+    "PRESETS",
+    "TESLA_K40",
+    "get_preset",
+    "preset_names",
+    "BoyerTransferModel",
+    "TransferDirection",
+    "TransferEvent",
+    "TransferPlan",
+]

@@ -1,0 +1,138 @@
+"""High-level analysis reports combining metrics and both cost functions.
+
+:class:`AnalysisReport` is the object a user gets back when they ask "analyse
+this algorithm at this input size on this GPU": it bundles the per-round
+metrics (Section III), the ATGPU perfect cost and GPU-cost (Expressions 1
+and 2), the SWGPU comparison cost, and the predicted transfer proportion
+``ΔT`` used in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.comparison import SWGPUCostModel
+from repro.core.cost import ATGPUCostModel, CostBreakdown, CostParameters
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics
+from repro.core.occupancy import OccupancyModel
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the model says about one algorithm run at one input size."""
+
+    algorithm: str
+    input_size: int
+    machine: ATGPUMachine
+    metrics: AlgorithmMetrics
+    perfect_breakdown: CostBreakdown
+    gpu_breakdown: CostBreakdown
+    swgpu_cost: float
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rounds(self) -> int:
+        """``R`` -- number of rounds."""
+        return self.metrics.num_rounds
+
+    @property
+    def perfect_cost(self) -> float:
+        """Expression (1)."""
+        return self.perfect_breakdown.total
+
+    @property
+    def gpu_cost(self) -> float:
+        """Expression (2) -- the paper's "ATGPU cost" in every figure."""
+        return self.gpu_breakdown.total
+
+    @property
+    def atgpu_cost(self) -> float:
+        """Alias of :attr:`gpu_cost` (the cost plotted as "ATGPU")."""
+        return self.gpu_cost
+
+    @property
+    def transfer_cost(self) -> float:
+        """Predicted total transfer cost ``Σ (T_I + T_O)``."""
+        return self.gpu_breakdown.transfer
+
+    @property
+    def kernel_cost(self) -> float:
+        """Predicted kernel-side cost (what SWGPU captures)."""
+        return self.gpu_breakdown.kernel
+
+    @property
+    def predicted_transfer_proportion(self) -> float:
+        """``ΔT`` of Figure 6."""
+        return self.gpu_breakdown.transfer_proportion
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the headline numbers for tabular output / serialisation."""
+        return {
+            "input_size": float(self.input_size),
+            "rounds": float(self.num_rounds),
+            "time": float(self.metrics.total_time),
+            "io_blocks": float(self.metrics.total_io_blocks),
+            "transfer_words": float(self.metrics.total_transfer_words),
+            "global_words": float(self.metrics.max_global_words),
+            "shared_words_per_mp": float(self.metrics.max_shared_words_per_mp),
+            "perfect_cost": float(self.perfect_cost),
+            "gpu_cost": float(self.gpu_cost),
+            "swgpu_cost": float(self.swgpu_cost),
+            "transfer_cost": float(self.transfer_cost),
+            "kernel_cost": float(self.kernel_cost),
+            "predicted_transfer_proportion": float(
+                self.predicted_transfer_proportion
+            ),
+        }
+
+
+def analyse_metrics(
+    metrics: AlgorithmMetrics,
+    machine: ATGPUMachine,
+    parameters: CostParameters,
+    occupancy: OccupancyModel,
+    algorithm: str = "",
+    input_size: int = 0,
+) -> AnalysisReport:
+    """Build an :class:`AnalysisReport` for pre-computed metrics.
+
+    This is the workhorse behind :meth:`repro.algorithms.base.GPUAlgorithm.analyse`
+    and the experiment runner.  It validates the metrics against the machine
+    (raising :class:`repro.core.metrics.CapacityError` if the algorithm does
+    not fit) and evaluates the ATGPU and SWGPU cost functions.
+    """
+    atgpu = ATGPUCostModel(machine, parameters, occupancy)
+    swgpu = SWGPUCostModel(machine, parameters, occupancy)
+    perfect = atgpu.breakdown(metrics, use_occupancy=False)
+    gpu = atgpu.breakdown(metrics, use_occupancy=True)
+    return AnalysisReport(
+        algorithm=algorithm or metrics.name,
+        input_size=input_size,
+        machine=machine,
+        metrics=metrics,
+        perfect_breakdown=perfect,
+        gpu_breakdown=gpu,
+        swgpu_cost=swgpu.gpu_cost(metrics),
+    )
+
+
+def format_report(report: AnalysisReport, precision: int = 4) -> str:
+    """Render an :class:`AnalysisReport` as a small human-readable block."""
+    lines = [
+        f"Algorithm      : {report.algorithm}",
+        f"Input size     : {report.input_size}",
+        f"Machine        : {report.machine.describe()}",
+        f"Rounds (R)     : {report.num_rounds}",
+        f"Time  Σt_i     : {report.metrics.total_time:.{precision}g}",
+        f"I/O   Σq_i     : {report.metrics.total_io_blocks:.{precision}g}",
+        f"Transfer words : {report.metrics.total_transfer_words:.{precision}g}",
+        f"Perfect cost   : {report.perfect_cost:.{precision}g}",
+        f"GPU cost       : {report.gpu_cost:.{precision}g}",
+        f"SWGPU cost     : {report.swgpu_cost:.{precision}g}",
+        f"Predicted ΔT   : {report.predicted_transfer_proportion:.{precision}g}",
+    ]
+    return "\n".join(lines)

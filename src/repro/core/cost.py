@@ -1,0 +1,249 @@
+"""The ATGPU cost functions (Expressions 1 and 2 of the paper).
+
+Section III defines two cost functions over the per-round metrics of an
+algorithm:
+
+* **Perfect-GPU cost** (Expression 1) -- the machine has enough
+  multiprocessors to run every thread block concurrently::
+
+      Σ_i [ T_I(i) + (t_i + λ·q_i)/γ + T_O(i) + σ ]
+
+* **GPU-cost** (Expression 2) -- the cost as simulated on a real GPU with
+  ``k' < k`` multiprocessors, each able to host
+  ``ℓ = min(⌊M/m⌋, H)`` blocks concurrently::
+
+      Σ_i [ T_I(i) + (⌈k_i/(k'·ℓ)⌉·t_i + λ·q_i)/γ + T_O(i) + σ ]
+
+The cost parameters are:
+
+========  =======================================================
+``γ``     operation rate (clock rate) of the GPU
+``λ``     latency, in cycles, of one global-memory block access
+``σ``     fixed per-round synchronisation cost
+``α``     fixed per-transaction host↔device transfer overhead
+``β``     per-word host↔device transfer cost
+========  =======================================================
+
+The SWGPU comparison cost used throughout the evaluation is the same
+expression with the transfer terms removed (see
+:mod:`repro.core.comparison`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.occupancy import OccupancyModel
+from repro.core.transfer import BoyerTransferModel
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """The five scalar parameters of the ATGPU cost function.
+
+    Parameters
+    ----------
+    gamma:
+        ``γ`` -- operation rate.  Dividing cycles by ``γ`` converts them into
+        the cost unit (e.g. with ``γ`` in cycles/second the cost is seconds).
+    lam:
+        ``λ`` -- cycles needed to access one global-memory block
+        (the paper quotes 400--800 cycles for real hardware).
+    sigma:
+        ``σ`` -- fixed cost of the per-round synchronisation tasks
+        (device reset, queue clearing, kernel launch, ...).
+    alpha:
+        ``α`` -- fixed cost per host↔device transfer transaction.
+    beta:
+        ``β`` -- cost per word transferred between host and device.
+    """
+
+    gamma: float
+    lam: float
+    sigma: float
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.gamma, "gamma")
+        ensure_non_negative(self.lam, "lam")
+        ensure_non_negative(self.sigma, "sigma")
+        ensure_non_negative(self.alpha, "alpha")
+        ensure_non_negative(self.beta, "beta")
+
+    @property
+    def transfer_model(self) -> BoyerTransferModel:
+        """The Boyer transfer model carrying this parameter set's ``α``/``β``."""
+        return BoyerTransferModel(alpha=self.alpha, beta=self.beta)
+
+    def without_transfer(self) -> "CostParameters":
+        """Copy of the parameters with ``α = β = 0`` (the SWGPU view)."""
+        return replace(self, alpha=0.0, beta=0.0)
+
+    def scaled(self, factor: float) -> "CostParameters":
+        """Uniformly rescale the cost unit (e.g. seconds → milliseconds)."""
+        ensure_positive(factor, "factor")
+        return CostParameters(
+            gamma=self.gamma / factor,
+            lam=self.lam,
+            sigma=self.sigma * factor,
+            alpha=self.alpha * factor,
+            beta=self.beta * factor,
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Itemised cost of an algorithm under one of the two cost functions.
+
+    The components sum to :attr:`total`; the transfer component is what the
+    SWGPU cost omits, and :attr:`transfer_proportion` is the predicted ``ΔT``
+    plotted in Figure 6 of the paper.
+    """
+
+    inward_transfer: float
+    outward_transfer: float
+    compute: float
+    io: float
+    synchronisation: float
+
+    @property
+    def transfer(self) -> float:
+        """Total transfer component, ``Σ (T_I(i) + T_O(i))``."""
+        return self.inward_transfer + self.outward_transfer
+
+    @property
+    def kernel(self) -> float:
+        """The kernel-side component (compute + I/O + synchronisation)."""
+        return self.compute + self.io + self.synchronisation
+
+    @property
+    def total(self) -> float:
+        """The full ATGPU cost."""
+        return self.transfer + self.kernel
+
+    @property
+    def transfer_proportion(self) -> float:
+        """``ΔT`` -- fraction of the total cost attributed to transfer."""
+        if self.total == 0:
+            return 0.0
+        return self.transfer / self.total
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        if not isinstance(other, CostBreakdown):
+            return NotImplemented
+        return CostBreakdown(
+            inward_transfer=self.inward_transfer + other.inward_transfer,
+            outward_transfer=self.outward_transfer + other.outward_transfer,
+            compute=self.compute + other.compute,
+            io=self.io + other.io,
+            synchronisation=self.synchronisation + other.synchronisation,
+        )
+
+
+class ATGPUCostModel:
+    """Evaluates Expressions (1) and (2) for algorithm metrics on a machine.
+
+    Parameters
+    ----------
+    machine:
+        The abstract machine instance (supplies ``M`` for the occupancy term
+        and the capacity limits).
+    parameters:
+        The scalar cost parameters ``γ, λ, σ, α, β``.
+    occupancy:
+        The physical-GPU occupancy model (``k'`` and ``H``).  Only needed for
+        the GPU-cost (Expression 2); the perfect cost ignores it.
+    """
+
+    def __init__(
+        self,
+        machine: ATGPUMachine,
+        parameters: CostParameters,
+        occupancy: Optional[OccupancyModel] = None,
+    ) -> None:
+        self.machine = machine
+        self.parameters = parameters
+        self.occupancy = occupancy
+
+    # ------------------------------------------------------------------ #
+    # Per-round costs
+    # ------------------------------------------------------------------ #
+    def round_breakdown(
+        self, metrics: RoundMetrics, use_occupancy: bool = False
+    ) -> CostBreakdown:
+        """Itemised cost of one round.
+
+        With ``use_occupancy=False`` this is one summand of Expression (1);
+        with ``use_occupancy=True`` the round time is scaled by the wave
+        count ``⌈k_i/(k'·ℓ)⌉`` as in Expression (2).
+        """
+        params = self.parameters
+        transfer = params.transfer_model
+        time = metrics.time
+        if use_occupancy:
+            if self.occupancy is None:
+                raise ValueError(
+                    "GPU-cost (Expression 2) requires an OccupancyModel; "
+                    "construct the ATGPUCostModel with one"
+                )
+            waves = self.occupancy.waves(
+                thread_blocks=metrics.thread_blocks,
+                shared_memory_capacity=self.machine.M,
+                shared_words_per_block=metrics.shared_words_per_mp,
+            )
+            time = waves * metrics.time
+        return CostBreakdown(
+            inward_transfer=transfer.inward_cost(metrics),
+            outward_transfer=transfer.outward_cost(metrics),
+            compute=time / params.gamma,
+            io=params.lam * metrics.io_blocks / params.gamma,
+            synchronisation=params.sigma,
+        )
+
+    def round_cost(self, metrics: RoundMetrics, use_occupancy: bool = False) -> float:
+        """Scalar cost of one round."""
+        return self.round_breakdown(metrics, use_occupancy=use_occupancy).total
+
+    # ------------------------------------------------------------------ #
+    # Whole-algorithm costs
+    # ------------------------------------------------------------------ #
+    def breakdown(
+        self, metrics: AlgorithmMetrics, use_occupancy: bool = False
+    ) -> CostBreakdown:
+        """Itemised cost of a whole algorithm (sum over rounds)."""
+        metrics.validate_against(self.machine)
+        total = CostBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+        for round_metrics in metrics:
+            total = total + self.round_breakdown(
+                round_metrics, use_occupancy=use_occupancy
+            )
+        return total
+
+    def perfect_cost(self, metrics: AlgorithmMetrics) -> float:
+        """Expression (1): cost on the perfect GPU."""
+        return self.breakdown(metrics, use_occupancy=False).total
+
+    def gpu_cost(self, metrics: AlgorithmMetrics) -> float:
+        """Expression (2): cost simulated on a GPU with ``k'`` MPs."""
+        return self.breakdown(metrics, use_occupancy=True).total
+
+    def transfer_cost(self, metrics: AlgorithmMetrics) -> float:
+        """Total transfer component ``Σ_i (T_I(i) + T_O(i))``."""
+        return self.breakdown(metrics, use_occupancy=False).transfer
+
+    def kernel_cost(self, metrics: AlgorithmMetrics, use_occupancy: bool = True) -> float:
+        """The non-transfer component of the cost (what SWGPU models)."""
+        return self.breakdown(metrics, use_occupancy=use_occupancy).kernel
+
+    def predicted_transfer_proportion(
+        self, metrics: AlgorithmMetrics, use_occupancy: bool = True
+    ) -> float:
+        """``ΔT`` -- predicted share of total cost spent on transfer (Fig. 6)."""
+        return self.breakdown(
+            metrics, use_occupancy=use_occupancy
+        ).transfer_proportion

@@ -1,0 +1,123 @@
+"""Occupancy computations used by the GPU-cost function (Expression 2).
+
+A physical streaming multiprocessor can hold ``ℓ = min(⌊M / m⌋, H)`` thread
+blocks concurrently, where ``m`` is the shared memory used per block and
+``H`` is a hardware-imposed limit on resident blocks.  With ``k'`` physical
+MPs, an algorithm round that launches ``k_i`` thread blocks executes in
+``⌈k_i / (k'·ℓ)⌉`` *waves*; Expression (2) scales the round's parallel time
+``t_i`` by that wave count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_non_negative, ensure_positive_int
+
+
+def blocks_per_multiprocessor(
+    shared_memory_capacity: int,
+    shared_words_per_block: float,
+    hardware_block_limit: int,
+) -> int:
+    """Return ``ℓ = min(⌊M / m⌋, H)``.
+
+    Parameters
+    ----------
+    shared_memory_capacity:
+        ``M`` -- shared-memory words available per MP.
+    shared_words_per_block:
+        ``m`` -- shared-memory words consumed by one resident thread block.
+        A block using no shared memory is only limited by ``H``.
+    hardware_block_limit:
+        ``H`` -- the hardware cap on concurrently resident blocks per MP.
+    """
+    ensure_positive_int(shared_memory_capacity, "shared_memory_capacity")
+    ensure_non_negative(shared_words_per_block, "shared_words_per_block")
+    ensure_positive_int(hardware_block_limit, "hardware_block_limit")
+    if shared_words_per_block == 0:
+        return hardware_block_limit
+    by_memory = int(shared_memory_capacity // shared_words_per_block)
+    if by_memory == 0:
+        raise ValueError(
+            f"a thread block needs {shared_words_per_block} shared words but the "
+            f"MP only has {shared_memory_capacity}: the kernel cannot run"
+        )
+    return min(by_memory, hardware_block_limit)
+
+
+def wave_count(thread_blocks: int, physical_mps: int, blocks_per_mp: int) -> int:
+    """Return the number of block waves ``⌈k_i / (k'·ℓ)⌉``."""
+    ensure_positive_int(thread_blocks, "thread_blocks")
+    ensure_positive_int(physical_mps, "physical_mps")
+    ensure_positive_int(blocks_per_mp, "blocks_per_mp")
+    return math.ceil(thread_blocks / (physical_mps * blocks_per_mp))
+
+
+@dataclass(frozen=True)
+class OccupancyModel:
+    """Occupancy of a physical GPU with ``k'`` MPs and block limit ``H``.
+
+    This couples the two hardware parameters that Expression (2) introduces
+    on top of the abstract machine: the number of physical multiprocessors
+    ``k'`` and the hardware limit ``H`` on blocks resident per MP.
+    """
+
+    physical_mps: int
+    hardware_block_limit: int
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.physical_mps, "physical_mps")
+        ensure_positive_int(self.hardware_block_limit, "hardware_block_limit")
+
+    def blocks_per_mp(
+        self, shared_memory_capacity: int, shared_words_per_block: float
+    ) -> int:
+        """``ℓ`` for a kernel using ``shared_words_per_block`` words per block."""
+        return blocks_per_multiprocessor(
+            shared_memory_capacity,
+            shared_words_per_block,
+            self.hardware_block_limit,
+        )
+
+    def concurrent_blocks(
+        self, shared_memory_capacity: int, shared_words_per_block: float
+    ) -> int:
+        """Device-wide concurrent blocks, ``k'·ℓ``."""
+        return self.physical_mps * self.blocks_per_mp(
+            shared_memory_capacity, shared_words_per_block
+        )
+
+    def waves(
+        self,
+        thread_blocks: int,
+        shared_memory_capacity: int,
+        shared_words_per_block: float,
+    ) -> int:
+        """Number of waves ``⌈k_i / (k'·ℓ)⌉`` needed to run ``thread_blocks``."""
+        return wave_count(
+            thread_blocks,
+            self.physical_mps,
+            self.blocks_per_mp(shared_memory_capacity, shared_words_per_block),
+        )
+
+    def occupancy_fraction(
+        self,
+        thread_blocks: int,
+        shared_memory_capacity: int,
+        shared_words_per_block: float,
+    ) -> float:
+        """Fraction of the device's block slots filled by the last (or only) wave.
+
+        This is a convenience diagnostic: ``1.0`` means every wave fills all
+        ``k'·ℓ`` slots; smaller values indicate a ragged final wave or a
+        kernel too small to fill the device.
+        """
+        slots = self.concurrent_blocks(
+            shared_memory_capacity, shared_words_per_block
+        )
+        waves = wave_count(thread_blocks, self.physical_mps,
+                           self.blocks_per_mp(shared_memory_capacity,
+                                              shared_words_per_block))
+        return thread_blocks / (waves * slots)

@@ -1,0 +1,285 @@
+"""Sweep-level prediction and prediction-vs-observation comparison.
+
+The paper's evaluation (Section IV) always works over a *sweep* of input
+sizes: for each size it computes the ATGPU GPU-cost and the SWGPU cost
+(prediction side) and measures the total and kernel-only running times
+(observation side), then compares growth shapes on a normalised scale and
+compares the transfer proportions ``ΔT`` (predicted) and ``ΔE`` (observed).
+
+:class:`SweepPrediction` holds the prediction side, :class:`SweepObservation`
+holds the observation side, and :class:`PredictionComparison` computes every
+derived statistic the paper reports (normalised curves, Figure 6 series,
+average transfer shares, Δ accuracy, and the SWGPU/ATGPU "capture"
+fractions of Section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.analysis import AnalysisReport, analyse_metrics
+from repro.core.cost import CostParameters
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics
+from repro.core.occupancy import OccupancyModel
+from repro.utils.stats import (
+    average,
+    growth_rate_similarity,
+    mean_absolute_difference,
+    normalise_series,
+)
+
+MetricsFactory = Callable[[int], AlgorithmMetrics]
+
+
+@dataclass
+class SweepPrediction:
+    """Model predictions across a sweep of input sizes."""
+
+    algorithm: str
+    sizes: List[int]
+    reports: List[AnalysisReport]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.reports):
+            raise ValueError("sizes and reports must have the same length")
+        if not self.sizes:
+            raise ValueError("a sweep needs at least one input size")
+
+    # ------------------------------------------------------------------ #
+    # Series accessors (the curves of Figures 3a/4a/5a and 6)
+    # ------------------------------------------------------------------ #
+    @property
+    def atgpu_costs(self) -> np.ndarray:
+        """ATGPU GPU-cost per size (the "ATGPU" curve)."""
+        return np.array([r.gpu_cost for r in self.reports], dtype=float)
+
+    @property
+    def swgpu_costs(self) -> np.ndarray:
+        """SWGPU cost per size (the "SWGPU" curve)."""
+        return np.array([r.swgpu_cost for r in self.reports], dtype=float)
+
+    @property
+    def perfect_costs(self) -> np.ndarray:
+        """Expression (1) cost per size."""
+        return np.array([r.perfect_cost for r in self.reports], dtype=float)
+
+    @property
+    def transfer_costs(self) -> np.ndarray:
+        """Predicted transfer cost per size."""
+        return np.array([r.transfer_cost for r in self.reports], dtype=float)
+
+    @property
+    def kernel_costs(self) -> np.ndarray:
+        """Predicted kernel-side cost per size."""
+        return np.array([r.kernel_cost for r in self.reports], dtype=float)
+
+    @property
+    def predicted_transfer_proportions(self) -> np.ndarray:
+        """``ΔT`` per size (the "Predicted" curve of Figure 6)."""
+        return np.array(
+            [r.predicted_transfer_proportion for r in self.reports], dtype=float
+        )
+
+    def normalised(self) -> Dict[str, np.ndarray]:
+        """Normalised ATGPU and SWGPU curves (Figures 3c / 4c)."""
+        return {
+            "ATGPU": normalise_series(self.atgpu_costs),
+            "SWGPU": normalise_series(self.swgpu_costs),
+        }
+
+
+@dataclass
+class SweepObservation:
+    """Observed (measured or simulated) running times across a sweep.
+
+    ``total_times`` include the host↔device transfers; ``kernel_times`` are
+    the device-only portions.  Units are seconds throughout the reproduction
+    (the paper reports milliseconds; only shapes and ratios are compared).
+    """
+
+    algorithm: str
+    sizes: List[int]
+    total_times: List[float]
+    kernel_times: List[float]
+    transfer_times: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.sizes)
+        if len(self.total_times) != n or len(self.kernel_times) != n:
+            raise ValueError("sizes, total_times and kernel_times must align")
+        if not self.transfer_times:
+            self.transfer_times = [
+                max(t - k, 0.0)
+                for t, k in zip(self.total_times, self.kernel_times)
+            ]
+        elif len(self.transfer_times) != n:
+            raise ValueError("transfer_times must align with sizes")
+        for total, kernel in zip(self.total_times, self.kernel_times):
+            if kernel > total * (1 + 1e-9):
+                raise ValueError(
+                    "kernel time cannot exceed total time "
+                    f"({kernel!r} > {total!r})"
+                )
+
+    @property
+    def totals(self) -> np.ndarray:
+        """Observed total times as an array."""
+        return np.asarray(self.total_times, dtype=float)
+
+    @property
+    def kernels(self) -> np.ndarray:
+        """Observed kernel-only times as an array."""
+        return np.asarray(self.kernel_times, dtype=float)
+
+    @property
+    def transfers(self) -> np.ndarray:
+        """Observed transfer times as an array."""
+        return np.asarray(self.transfer_times, dtype=float)
+
+    @property
+    def observed_transfer_proportions(self) -> np.ndarray:
+        """``ΔE`` per size (the "Observed" curve of Figure 6)."""
+        totals = self.totals
+        if np.any(totals <= 0):
+            raise ValueError("all observed total times must be positive")
+        return self.transfers / totals
+
+    def normalised(self) -> Dict[str, np.ndarray]:
+        """Normalised total and kernel curves (Figures 3c / 4c)."""
+        return {
+            "Total": normalise_series(self.totals),
+            "Kernel": normalise_series(self.kernels),
+        }
+
+
+def predict_sweep(
+    algorithm: str,
+    sizes: Sequence[int],
+    metrics_factory: MetricsFactory,
+    machine: ATGPUMachine,
+    parameters: CostParameters,
+    occupancy: OccupancyModel,
+) -> SweepPrediction:
+    """Evaluate the ATGPU/SWGPU cost functions over a sweep of sizes."""
+    if not sizes:
+        raise ValueError("sizes must not be empty")
+    reports = [
+        analyse_metrics(
+            metrics_factory(int(n)),
+            machine,
+            parameters,
+            occupancy,
+            algorithm=algorithm,
+            input_size=int(n),
+        )
+        for n in sizes
+    ]
+    return SweepPrediction(algorithm=algorithm, sizes=[int(n) for n in sizes],
+                           reports=reports)
+
+
+@dataclass
+class PredictionComparison:
+    """Pairs a :class:`SweepPrediction` with a :class:`SweepObservation`.
+
+    Provides every statistic of Section IV: the normalised four-curve plot,
+    the Figure 6 Δ curves, the average observed/predicted transfer shares,
+    the mean |ΔT - ΔE| accuracy, the SWGPU and ATGPU growth-shape tracking
+    scores, and the "capture fraction" (share of the observed total running
+    time that the kernel-only view accounts for).
+    """
+
+    prediction: SweepPrediction
+    observation: SweepObservation
+
+    def __post_init__(self) -> None:
+        if self.prediction.sizes != self.observation.sizes:
+            raise ValueError(
+                "prediction and observation must cover the same input sizes"
+            )
+
+    @property
+    def sizes(self) -> List[int]:
+        """The common sweep sizes."""
+        return self.prediction.sizes
+
+    def normalised_curves(self) -> Dict[str, np.ndarray]:
+        """The four normalised curves of Figures 3c / 4c."""
+        curves = {}
+        curves.update(self.prediction.normalised())
+        curves.update(self.observation.normalised())
+        return curves
+
+    def delta_curves(self) -> Dict[str, np.ndarray]:
+        """The Figure 6 curves: observed ``ΔE`` and predicted ``ΔT``."""
+        return {
+            "observed": self.observation.observed_transfer_proportions,
+            "predicted": self.prediction.predicted_transfer_proportions,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics (Section IV-D)
+    # ------------------------------------------------------------------ #
+    def average_observed_transfer_share(self) -> float:
+        """Mean ``ΔE`` -- e.g. 84 % for vector addition in the paper."""
+        return average(self.observation.observed_transfer_proportions)
+
+    def average_predicted_transfer_share(self) -> float:
+        """Mean ``ΔT``."""
+        return average(self.prediction.predicted_transfer_proportions)
+
+    def delta_accuracy(self) -> float:
+        """Mean ``|ΔT - ΔE|`` -- the paper quotes 1.5 %, 5.49 %, 0.76 %."""
+        return mean_absolute_difference(
+            self.prediction.predicted_transfer_proportions,
+            self.observation.observed_transfer_proportions,
+        )
+
+    def swgpu_capture_fraction(self) -> float:
+        """Average share of the observed total captured by the kernel-only view.
+
+        The paper states "the SWGPU captures on average only 16 % of the
+        actual running time for the vector addition example" -- i.e. the
+        component SWGPU models (the kernel) is on average that fraction of
+        the observed total running time.
+        """
+        totals = self.observation.totals
+        kernels = self.observation.kernels
+        if np.any(totals <= 0):
+            raise ValueError("all observed total times must be positive")
+        return float(np.mean(kernels / totals))
+
+    def atgpu_shape_score(self) -> float:
+        """Growth-shape similarity between the ATGPU cost and the total time."""
+        return growth_rate_similarity(
+            self.prediction.atgpu_costs, self.observation.totals
+        )
+
+    def swgpu_shape_score(self) -> float:
+        """Growth-shape similarity between the SWGPU cost and the total time."""
+        return growth_rate_similarity(
+            self.prediction.swgpu_costs, self.observation.totals
+        )
+
+    def atgpu_tracks_total_better(self) -> bool:
+        """The paper's headline claim, per algorithm.
+
+        ``True`` when the ATGPU cost's normalised growth is at least as close
+        to the observed total time as the SWGPU cost's.
+        """
+        return self.atgpu_shape_score() >= self.swgpu_shape_score()
+
+    def summary(self) -> Dict[str, float]:
+        """All Section IV-D statistics in one dictionary."""
+        return {
+            "average_observed_transfer_share": self.average_observed_transfer_share(),
+            "average_predicted_transfer_share": self.average_predicted_transfer_share(),
+            "delta_accuracy": self.delta_accuracy(),
+            "swgpu_capture_fraction": self.swgpu_capture_fraction(),
+            "atgpu_shape_score": self.atgpu_shape_score(),
+            "swgpu_shape_score": self.swgpu_shape_score(),
+        }

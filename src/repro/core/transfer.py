@@ -1,0 +1,160 @@
+"""Host ↔ device data-transfer cost model.
+
+Section III of the paper adopts the linear latency model of Boyer et al.
+("Improving GPU performance prediction with data transfer modeling",
+IPDPSW 2013): a transfer of ``n`` words issued as ``n̂`` transactions costs
+
+    ``T = n̂·α + n·β``
+
+where ``α`` is the fixed per-transaction overhead (driver call, DMA setup,
+pinning of pageable memory, ...) and ``β`` is the per-word streaming cost
+(the inverse of the effective interconnect bandwidth).  The per-round inward
+and outward costs are ``T_I(i) = Î_i·α + I_i·β`` and
+``T_O(i) = Ô_i·α + O_i·β``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.metrics import RoundMetrics
+from repro.utils.validation import (
+    ensure_non_negative,
+    ensure_non_negative_int,
+)
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host↔device transfer."""
+
+    HOST_TO_DEVICE = "inward"
+    DEVICE_TO_HOST = "outward"
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One logical transfer transaction (one array moved in one direction)."""
+
+    direction: TransferDirection
+    words: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.words, "words")
+        if not isinstance(self.direction, TransferDirection):
+            raise TypeError("direction must be a TransferDirection")
+
+
+@dataclass(frozen=True)
+class BoyerTransferModel:
+    """The linear transfer-cost model ``T = transactions·α + words·β``.
+
+    Parameters
+    ----------
+    alpha:
+        Per-transaction fixed overhead.  Units are whatever cost unit the
+        surrounding :class:`~repro.core.cost.CostParameters` uses (the paper
+        keeps the cost function unitless; the simulator uses seconds).
+    beta:
+        Per-word streaming cost (inverse effective bandwidth).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.alpha, "alpha")
+        ensure_non_negative(self.beta, "beta")
+
+    def cost(self, words: float, transactions: int = 1) -> float:
+        """Cost of moving ``words`` words in ``transactions`` transactions."""
+        ensure_non_negative(words, "words")
+        ensure_non_negative_int(transactions, "transactions")
+        if words > 0 and transactions == 0:
+            raise ValueError("moving a positive number of words requires >= 1 transaction")
+        return transactions * self.alpha + words * self.beta
+
+    def inward_cost(self, metrics: RoundMetrics) -> float:
+        """``T_I(i) = Î_i·α + I_i·β`` for one round."""
+        return self.cost(metrics.inward_words, metrics.inward_transactions)
+
+    def outward_cost(self, metrics: RoundMetrics) -> float:
+        """``T_O(i) = Ô_i·α + O_i·β`` for one round."""
+        return self.cost(metrics.outward_words, metrics.outward_transactions)
+
+    def round_cost(self, metrics: RoundMetrics) -> float:
+        """Total transfer cost of one round, ``T_I(i) + T_O(i)``."""
+        return self.inward_cost(metrics) + self.outward_cost(metrics)
+
+    def events_cost(self, events: Iterable[TransferEvent]) -> float:
+        """Cost of an explicit list of transfer events."""
+        total = 0.0
+        for event in events:
+            total += self.cost(event.words, 1 if event.words >= 0 else 0)
+        return total
+
+    def effective_bandwidth(self, words: float, transactions: int = 1) -> float:
+        """Achieved words-per-cost-unit for a transfer of ``words`` words.
+
+        Illustrates the familiar small-transfer penalty: as ``words`` grows
+        the effective bandwidth approaches ``1/β``; for small transfers it is
+        dominated by ``α``.
+        """
+        if words <= 0:
+            raise ValueError("effective bandwidth requires words > 0")
+        return words / self.cost(words, transactions)
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """An explicit per-round schedule of transfer events.
+
+    The pseudocode analyzer produces one plan per round (one event per ``W``
+    statement); the plan can be converted to the aggregate counts stored in
+    :class:`~repro.core.metrics.RoundMetrics`.
+    """
+
+    events: Tuple[TransferEvent, ...]
+
+    @staticmethod
+    def from_events(events: Sequence[TransferEvent]) -> "TransferPlan":
+        """Build a plan from a sequence of events."""
+        return TransferPlan(events=tuple(events))
+
+    @property
+    def inward_events(self) -> List[TransferEvent]:
+        """Events moving data host → device."""
+        return [e for e in self.events
+                if e.direction is TransferDirection.HOST_TO_DEVICE]
+
+    @property
+    def outward_events(self) -> List[TransferEvent]:
+        """Events moving data device → host."""
+        return [e for e in self.events
+                if e.direction is TransferDirection.DEVICE_TO_HOST]
+
+    @property
+    def inward_words(self) -> float:
+        """``I_i`` implied by the plan."""
+        return sum(e.words for e in self.inward_events)
+
+    @property
+    def outward_words(self) -> float:
+        """``O_i`` implied by the plan."""
+        return sum(e.words for e in self.outward_events)
+
+    @property
+    def inward_transactions(self) -> int:
+        """``Î_i`` implied by the plan (one transaction per event)."""
+        return len(self.inward_events)
+
+    @property
+    def outward_transactions(self) -> int:
+        """``Ô_i`` implied by the plan."""
+        return len(self.outward_events)
+
+    def total_words(self) -> float:
+        """Total words moved by the plan in either direction."""
+        return self.inward_words + self.outward_words

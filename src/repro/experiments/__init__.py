@@ -1,0 +1,43 @@
+"""The figure/table regeneration harness for the paper's evaluation."""
+
+from repro.experiments.figures import (
+    FigureSeries,
+    all_figures,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.experiments.report import (
+    render_comparison_summary,
+    render_figure,
+    render_figures,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import (
+    AlgorithmSummary,
+    PAPER_REPORTED,
+    render_summary,
+    summarise,
+    summary_statistics,
+    table1,
+)
+
+__all__ = [
+    "FigureSeries",
+    "all_figures",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_comparison_summary",
+    "render_figure",
+    "render_figures",
+    "ExperimentRunner",
+    "AlgorithmSummary",
+    "PAPER_REPORTED",
+    "render_summary",
+    "summarise",
+    "summary_statistics",
+    "table1",
+]

@@ -1,0 +1,181 @@
+"""Series builders for every figure of the paper's evaluation section.
+
+Each ``figure*`` function returns one or more :class:`FigureSeries` objects:
+a named set of curves over the sweep's input sizes, which is exactly the
+data plotted in the corresponding subfigure of the paper.  The benchmark
+harness prints these series; plotting them (with any tool) reproduces the
+figures.
+
+===========  ==========================================================
+Figure 3     vector addition: (a) predicted ATGPU/SWGPU cost,
+             (b) observed total/kernel time, (c) all four normalised
+Figure 4     reduction, same three subfigures
+Figure 5     matrix multiplication: (a) predicted, (b) observed
+Figure 6     transfer proportions Δ (observed ΔE vs predicted ΔT) for
+             (a) vector addition, (b) reduction, (c) matrix multiplication
+===========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.prediction import PredictionComparison
+
+
+@dataclass
+class FigureSeries:
+    """The data behind one subfigure: named curves over the input sizes."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    sizes: List[int]
+    series: Dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.sizes):
+                raise ValueError(
+                    f"series {name!r} of {self.figure} has {len(values)} points "
+                    f"but the sweep has {len(self.sizes)}"
+                )
+
+    def as_rows(self) -> List[List[float]]:
+        """Rows of ``[size, curve1, curve2, ...]`` in series order."""
+        names = list(self.series)
+        rows = []
+        for index, size in enumerate(self.sizes):
+            rows.append([float(size)] + [float(self.series[n][index]) for n in names])
+        return rows
+
+    def column_names(self) -> List[str]:
+        """Column headers matching :meth:`as_rows`."""
+        return [self.x_label] + list(self.series)
+
+
+def _predicted(comparison: PredictionComparison, figure: str, title: str,
+               x_label: str) -> FigureSeries:
+    return FigureSeries(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label="cost",
+        sizes=comparison.sizes,
+        series={
+            "ATGPU": comparison.prediction.atgpu_costs,
+            "SWGPU": comparison.prediction.swgpu_costs,
+        },
+    )
+
+
+def _observed(comparison: PredictionComparison, figure: str, title: str,
+              x_label: str) -> FigureSeries:
+    return FigureSeries(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label="time (s)",
+        sizes=comparison.sizes,
+        series={
+            "Total": comparison.observation.totals,
+            "Kernel": comparison.observation.kernels,
+        },
+    )
+
+
+def _normalised(comparison: PredictionComparison, figure: str, title: str,
+                x_label: str) -> FigureSeries:
+    return FigureSeries(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label="cost / time (normalised)",
+        sizes=comparison.sizes,
+        series=comparison.normalised_curves(),
+    )
+
+
+def _delta(comparison: PredictionComparison, figure: str, title: str,
+           x_label: str) -> FigureSeries:
+    deltas = comparison.delta_curves()
+    return FigureSeries(
+        figure=figure,
+        title=title,
+        x_label=x_label,
+        y_label="Δ (transfer proportion)",
+        sizes=comparison.sizes,
+        series={
+            "ΔE (Observed)": deltas["observed"],
+            "ΔT (Predicted)": deltas["predicted"],
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figures 3-6
+# --------------------------------------------------------------------- #
+def figure3(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
+    """Figure 3 (vector addition): predicted, observed and normalised series."""
+    x = "n"
+    return {
+        "3a": _predicted(comparison, "Figure 3a", "Vector addition: predicted results", x),
+        "3b": _observed(comparison, "Figure 3b", "Vector addition: observed results", x),
+        "3c": _normalised(comparison, "Figure 3c", "Vector addition: normalised results", x),
+    }
+
+
+def figure4(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
+    """Figure 4 (reduction): predicted, observed and normalised series."""
+    x = "n"
+    return {
+        "4a": _predicted(comparison, "Figure 4a", "Reduction: predicted results", x),
+        "4b": _observed(comparison, "Figure 4b", "Reduction: observed results", x),
+        "4c": _normalised(comparison, "Figure 4c", "Reduction: normalised results", x),
+    }
+
+
+def figure5(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
+    """Figure 5 (matrix multiplication): predicted and observed series."""
+    x = "n"
+    return {
+        "5a": _predicted(comparison, "Figure 5a",
+                         "Matrix multiplication: predicted results", x),
+        "5b": _observed(comparison, "Figure 5b",
+                        "Matrix multiplication: observed results", x),
+    }
+
+
+def figure6(comparisons: Dict[str, PredictionComparison]) -> Dict[str, FigureSeries]:
+    """Figure 6: transfer proportions Δ for the three paper algorithms.
+
+    ``comparisons`` maps the registry names (``vector_addition``,
+    ``reduction``, ``matrix_multiplication``) to their comparison objects.
+    """
+    labels = {
+        "vector_addition": ("6a", "Vector addition"),
+        "reduction": ("6b", "Reduction"),
+        "matrix_multiplication": ("6c", "Matrix multiplication"),
+    }
+    out: Dict[str, FigureSeries] = {}
+    for name, (key, title) in labels.items():
+        if name not in comparisons:
+            raise KeyError(f"figure6 needs a comparison for {name!r}")
+        out[key] = _delta(comparisons[name], f"Figure {key}",
+                          f"{title}: proportion of time/cost for data transfer", "n")
+    return out
+
+
+def all_figures(comparisons: Dict[str, PredictionComparison]
+                ) -> Dict[str, FigureSeries]:
+    """Every subfigure of the evaluation, keyed ``3a`` ... ``6c``."""
+    out: Dict[str, FigureSeries] = {}
+    out.update(figure3(comparisons["vector_addition"]))
+    out.update(figure4(comparisons["reduction"]))
+    out.update(figure5(comparisons["matrix_multiplication"]))
+    out.update(figure6(comparisons))
+    return out

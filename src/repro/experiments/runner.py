@@ -1,0 +1,98 @@
+"""The experiment runner: prediction vs observation for one algorithm sweep.
+
+One "experiment" in the sense of Section IV is: pick an algorithm and a
+sweep of input sizes; for every size evaluate the ATGPU GPU-cost and the
+SWGPU cost (prediction) and run the algorithm on the simulated GPU measuring
+total / kernel / transfer time (observation); then compare.  The runner
+packages that loop and returns the
+:class:`~repro.core.prediction.PredictionComparison` from which every figure
+and summary statistic of the paper is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import GPUAlgorithm
+from repro.algorithms.registry import create, paper_algorithm_names
+from repro.core.prediction import PredictionComparison
+from repro.core.presets import DEFAULT_PRESET, GPUPreset
+from repro.simulator.config import DeviceConfig
+from repro.workloads.sweeps import sweep_for
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs prediction-vs-observation experiments on one GPU configuration.
+
+    Parameters
+    ----------
+    preset:
+        Cost-model parameters and abstract machine used for the predictions.
+    device_config:
+        Simulator configuration used for the observations.  The default is
+        the GTX-650-like device matching the default preset.
+    scale:
+        ``"paper"`` to use the exact sweep sizes of Section IV, ``"small"``
+        for the reduced sweeps (used by tests and quick benchmark runs).
+    seed:
+        Seed for the workload generators.
+    """
+
+    preset: GPUPreset = DEFAULT_PRESET
+    device_config: Optional[DeviceConfig] = None
+    scale: str = "paper"
+    seed: int = 0
+    _cache: Dict[str, PredictionComparison] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.device_config is None:
+            self.device_config = DeviceConfig.gtx650()
+        if self.scale not in ("paper", "small"):
+            raise ValueError(f"scale must be 'paper' or 'small', got {self.scale!r}")
+
+    # ------------------------------------------------------------------ #
+    # Single-algorithm experiments
+    # ------------------------------------------------------------------ #
+    def sizes_for(self, algorithm: GPUAlgorithm) -> List[int]:
+        """The sweep sizes used for ``algorithm`` at the runner's scale."""
+        try:
+            return list(sweep_for(algorithm.name, scale=self.scale).sizes)
+        except KeyError:
+            sizes = algorithm.default_sizes()
+            if self.scale == "small":
+                sizes = sizes[: max(3, len(sizes) // 3)]
+            return sizes
+
+    def run_algorithm(
+        self,
+        algorithm: GPUAlgorithm,
+        sizes: Optional[Sequence[int]] = None,
+        use_cache: bool = True,
+    ) -> PredictionComparison:
+        """Run the full prediction-vs-observation experiment for one algorithm."""
+        cache_key = f"{algorithm.name}:{self.scale}:{tuple(sizes) if sizes else 'default'}"
+        if use_cache and cache_key in self._cache:
+            return self._cache[cache_key]
+        sweep_sizes = list(sizes) if sizes is not None else self.sizes_for(algorithm)
+        prediction = algorithm.predict_sweep(sweep_sizes, preset=self.preset)
+        observation = algorithm.observe_sweep(
+            sweep_sizes, config=self.device_config, seed=self.seed
+        )
+        comparison = PredictionComparison(prediction=prediction, observation=observation)
+        if use_cache:
+            self._cache[cache_key] = comparison
+        return comparison
+
+    def run_by_name(self, name: str, sizes: Optional[Sequence[int]] = None
+                    ) -> PredictionComparison:
+        """Run the experiment for a registered algorithm name."""
+        return self.run_algorithm(create(name), sizes=sizes)
+
+    # ------------------------------------------------------------------ #
+    # The paper's full evaluation
+    # ------------------------------------------------------------------ #
+    def run_paper_evaluation(self) -> Dict[str, PredictionComparison]:
+        """Run the three experiments of Section IV and return them by name."""
+        return {name: self.run_by_name(name) for name in paper_algorithm_names()}

@@ -1,0 +1,58 @@
+"""Classical abstract parallel models (PRAM, BSP, BSPRAM, PEM).
+
+These are the models the paper surveys in Section I-B to motivate why a
+GPU-specific abstract model is needed.  Each is implemented as a small
+analysable machine with a cost function, and
+:mod:`repro.models.features` provides the extended feature-comparison matrix
+that generalises Table I of the paper.
+"""
+
+from repro.models.base import (
+    AbstractParallelModel,
+    ModelDescription,
+    ModelFeature,
+)
+from repro.models.bsp import BSPCost, BSPMachine, Superstep
+from repro.models.bspram import BSPRAM, BSPRAMCost, BSPRAMSuperstep
+from repro.models.features import (
+    AGPU_DESCRIPTION,
+    ATGPU_DESCRIPTION,
+    SWGPU_DESCRIPTION,
+    all_model_descriptions,
+    classical_model_descriptions,
+    consistency_with_paper_table,
+    extended_feature_matrix,
+    gpu_suitability_ranking,
+    paper_table_view,
+    render_extended_table,
+)
+from repro.models.pem import PEMComplexity, PEMMachine
+from repro.models.pram import PRAM, PRAMCost, PRAMStep, PRAMVariant
+
+__all__ = [
+    "AbstractParallelModel",
+    "ModelDescription",
+    "ModelFeature",
+    "BSPCost",
+    "BSPMachine",
+    "Superstep",
+    "BSPRAM",
+    "BSPRAMCost",
+    "BSPRAMSuperstep",
+    "AGPU_DESCRIPTION",
+    "ATGPU_DESCRIPTION",
+    "SWGPU_DESCRIPTION",
+    "all_model_descriptions",
+    "classical_model_descriptions",
+    "consistency_with_paper_table",
+    "extended_feature_matrix",
+    "gpu_suitability_ranking",
+    "paper_table_view",
+    "render_extended_table",
+    "PEMComplexity",
+    "PEMMachine",
+    "PRAM",
+    "PRAMCost",
+    "PRAMStep",
+    "PRAMVariant",
+]

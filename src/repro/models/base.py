@@ -1,0 +1,85 @@
+"""Common scaffolding for the classical parallel-model substrate.
+
+Section I-B of the paper positions ATGPU relative to the classical abstract
+parallel models: PRAM, BSP, BSPRAM and PEM.  Each of those models is
+implemented here as a small analysable machine with a cost function, so that
+the reproduction can make the same qualitative comparisons the paper makes
+(which architectural features each model does or does not capture) and so
+that example algorithms can be costed on more than one model.
+
+Every model exposes:
+
+* a machine description (a frozen dataclass),
+* a :class:`ModelFeatures` flag set describing which GPU-relevant features it
+  captures (feeding the extended Table I in :mod:`repro.models.features`),
+* a cost function over a model-specific *program* abstraction.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class ModelFeature(enum.Enum):
+    """Architectural / analysis features relevant to modelling a GPU."""
+
+    SHARED_MEMORY = "shared memory accessible to all processors"
+    PRIVATE_MEMORY = "per-processor private memory"
+    MEMORY_HIERARCHY = "explicit memory hierarchy"
+    BLOCK_TRANSFERS = "block-granular memory transfers"
+    LOCKSTEP_GROUPS = "lockstep (warp-like) processor groups"
+    SYNCHRONISATION = "explicit synchronisation rounds"
+    COST_FUNCTION = "quantitative cost function"
+    PSEUDOCODE = "pseudocode notation"
+    SPACE_COMPLEXITY = "space complexity analysis"
+    SHARED_MEMORY_LIMIT = "bounded fast/shared memory"
+    GLOBAL_MEMORY_LIMIT = "bounded global memory"
+    HOST_DEVICE_TRANSFER = "host/device data transfer"
+
+
+@dataclass(frozen=True)
+class ModelDescription:
+    """Name, citation and feature set of an abstract parallel model."""
+
+    name: str
+    citation: str
+    features: FrozenSet[ModelFeature]
+
+    def supports(self, feature: ModelFeature) -> bool:
+        """Whether the model captures ``feature``."""
+        return feature in self.features
+
+    def missing(self, reference: FrozenSet[ModelFeature]) -> FrozenSet[ModelFeature]:
+        """Features present in ``reference`` but absent from this model."""
+        return frozenset(reference - self.features)
+
+
+class AbstractParallelModel(abc.ABC):
+    """Base class for the classical parallel machine models."""
+
+    @property
+    @abc.abstractmethod
+    def description(self) -> ModelDescription:
+        """Static description (name, citation, feature flags)."""
+
+    @property
+    def name(self) -> str:
+        """The model's conventional name (PRAM, BSP, ...)."""
+        return self.description.name
+
+    def supports(self, feature: ModelFeature) -> bool:
+        """Whether this model captures ``feature``."""
+        return self.description.supports(feature)
+
+    def suitability_for_gpu(self) -> float:
+        """Crude suitability score: fraction of GPU-relevant features captured.
+
+        The paper argues each classical model "misses important components
+        needed for modelling or analysing GPU computation"; this score makes
+        that argument quantitative for the comparison table.
+        """
+        relevant = frozenset(ModelFeature)
+        return len(self.description.features & relevant) / len(relevant)

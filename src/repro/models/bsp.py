@@ -1,0 +1,124 @@
+"""The Bulk Synchronous Parallel (BSP) model.
+
+Valiant's BSP machine consists of ``p`` processors with private memory,
+connected by a network characterised by a per-word communication cost ``g``
+and a barrier synchronisation cost ``L``.  A computation is a sequence of
+*supersteps*; superstep ``s`` with maximum local work ``w_s`` and maximum
+per-processor message volume ``h_s`` (an ``h``-relation) costs
+
+    ``w_s + g·h_s + L``.
+
+The paper notes that the lack of shared memory and the pairwise communication
+pattern make BSP a poor fit for GPUs, but its superstep/cost-function
+structure is the direct ancestor of the SWGPU and ATGPU round structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.models.base import (
+    AbstractParallelModel,
+    ModelDescription,
+    ModelFeature,
+)
+from repro.utils.validation import (
+    ensure_non_negative,
+    ensure_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class Superstep:
+    """One BSP superstep.
+
+    Parameters
+    ----------
+    local_work:
+        ``w_s`` -- the maximum number of local operations performed by any
+        processor during the superstep.
+    h_relation:
+        ``h_s`` -- the maximum number of words sent or received by any
+        processor during the communication phase.
+    """
+
+    local_work: float
+    h_relation: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.local_work, "local_work")
+        ensure_non_negative(self.h_relation, "h_relation")
+
+
+@dataclass(frozen=True)
+class BSPCost:
+    """Aggregate cost of a BSP program."""
+
+    computation: float
+    communication: float
+    synchronisation: float
+
+    @property
+    def total(self) -> float:
+        """Total BSP cost ``Σ (w_s + g·h_s + L)``."""
+        return self.computation + self.communication + self.synchronisation
+
+
+class BSPMachine(AbstractParallelModel):
+    """A BSP machine ``(p, g, L)``."""
+
+    def __init__(self, processors: int, g: float, L: float) -> None:
+        self.processors = ensure_positive_int(processors, "processors")
+        self.g = ensure_non_negative(g, "g")
+        self.L = ensure_non_negative(L, "L")
+
+    @property
+    def description(self) -> ModelDescription:
+        return ModelDescription(
+            name="BSP",
+            citation="Valiant, CACM 1990",
+            features=frozenset({
+                ModelFeature.PRIVATE_MEMORY,
+                ModelFeature.SYNCHRONISATION,
+                ModelFeature.COST_FUNCTION,
+            }),
+        )
+
+    def superstep_cost(self, superstep: Superstep) -> float:
+        """Cost of one superstep, ``w + g·h + L``."""
+        return superstep.local_work + self.g * superstep.h_relation + self.L
+
+    def cost(self, supersteps: Sequence[Superstep]) -> BSPCost:
+        """Itemised cost of a sequence of supersteps."""
+        computation = sum(s.local_work for s in supersteps)
+        communication = sum(self.g * s.h_relation for s in supersteps)
+        synchronisation = self.L * len(supersteps)
+        return BSPCost(
+            computation=computation,
+            communication=communication,
+            synchronisation=synchronisation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Canonical example costings (used in tests and docs)
+    # ------------------------------------------------------------------ #
+    def broadcast_cost(self, words: int) -> BSPCost:
+        """Cost of a one-to-all broadcast of ``words`` words (two-phase)."""
+        ensure_non_negative(words, "words")
+        scatter = Superstep(local_work=0.0,
+                            h_relation=words)
+        allgather = Superstep(local_work=0.0,
+                              h_relation=words)
+        return self.cost([scatter, allgather])
+
+    def reduction_cost(self, n: int, flop_per_item: float = 1.0) -> BSPCost:
+        """Cost of reducing ``n`` values: local reduce then gather to one node."""
+        ensure_positive_int(n, "n")
+        ensure_non_negative(flop_per_item, "flop_per_item")
+        per_processor = -(-n // self.processors)  # ceil division
+        local = Superstep(local_work=per_processor * flop_per_item,
+                          h_relation=1.0)
+        combine = Superstep(local_work=self.processors * flop_per_item,
+                            h_relation=float(self.processors))
+        return self.cost([local, combine])

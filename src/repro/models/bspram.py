@@ -1,0 +1,142 @@
+"""Tiskin's Bulk-Synchronous Parallel Random Access Machine (BSPRAM).
+
+The BSPRAM keeps BSP's superstep structure and ``(p, g, L)`` parameters but
+replaces point-to-point messaging with a shared main memory: processors have
+fast private memory and communicate by reading/writing the shared memory
+during the communication phase of a superstep.  The paper notes this is
+closer to a GPU than PRAM or BSP, but still lacks the notion of a warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.models.base import (
+    AbstractParallelModel,
+    ModelDescription,
+    ModelFeature,
+)
+from repro.utils.validation import ensure_non_negative, ensure_positive_int
+
+
+@dataclass(frozen=True)
+class BSPRAMSuperstep:
+    """One BSPRAM superstep.
+
+    Parameters
+    ----------
+    local_work:
+        Maximum operations executed by any processor on its private memory.
+    shared_reads / shared_writes:
+        Maximum number of words any processor reads from / writes to the
+        shared memory during the communication phase.
+    """
+
+    local_work: float
+    shared_reads: float = 0.0
+    shared_writes: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.local_work, "local_work")
+        ensure_non_negative(self.shared_reads, "shared_reads")
+        ensure_non_negative(self.shared_writes, "shared_writes")
+
+    @property
+    def shared_traffic(self) -> float:
+        """Total shared-memory words moved by the busiest processor."""
+        return self.shared_reads + self.shared_writes
+
+
+@dataclass(frozen=True)
+class BSPRAMCost:
+    """Aggregate BSPRAM cost."""
+
+    computation: float
+    communication: float
+    synchronisation: float
+
+    @property
+    def total(self) -> float:
+        """``Σ (w_s + g·h_s + L)`` with ``h_s`` the shared-memory traffic."""
+        return self.computation + self.communication + self.synchronisation
+
+
+class BSPRAM(AbstractParallelModel):
+    """A BSPRAM machine ``(p, g, L)`` with private + shared memory."""
+
+    def __init__(
+        self,
+        processors: int,
+        g: float,
+        L: float,
+        private_memory_words: int = 1 << 20,
+    ) -> None:
+        self.processors = ensure_positive_int(processors, "processors")
+        self.g = ensure_non_negative(g, "g")
+        self.L = ensure_non_negative(L, "L")
+        self.private_memory_words = ensure_positive_int(
+            private_memory_words, "private_memory_words"
+        )
+
+    @property
+    def description(self) -> ModelDescription:
+        return ModelDescription(
+            name="BSPRAM",
+            citation="Tiskin, TCS 1998",
+            features=frozenset({
+                ModelFeature.PRIVATE_MEMORY,
+                ModelFeature.SHARED_MEMORY,
+                ModelFeature.MEMORY_HIERARCHY,
+                ModelFeature.SYNCHRONISATION,
+                ModelFeature.COST_FUNCTION,
+                ModelFeature.SHARED_MEMORY_LIMIT,
+            }),
+        )
+
+    def superstep_cost(self, superstep: BSPRAMSuperstep) -> float:
+        """Cost of one superstep."""
+        return (
+            superstep.local_work
+            + self.g * superstep.shared_traffic
+            + self.L
+        )
+
+    def cost(self, supersteps: Sequence[BSPRAMSuperstep]) -> BSPRAMCost:
+        """Itemised cost of a BSPRAM program."""
+        computation = sum(s.local_work for s in supersteps)
+        communication = sum(self.g * s.shared_traffic for s in supersteps)
+        synchronisation = self.L * len(supersteps)
+        return BSPRAMCost(
+            computation=computation,
+            communication=communication,
+            synchronisation=synchronisation,
+        )
+
+    def validate_private_footprint(self, words: float) -> None:
+        """Raise if a processor's working set exceeds its private memory."""
+        ensure_non_negative(words, "words")
+        if words > self.private_memory_words:
+            raise ValueError(
+                f"private working set of {words} words exceeds the private "
+                f"memory of {self.private_memory_words} words"
+            )
+
+    def matrix_multiply_cost(self, n: int) -> BSPRAMCost:
+        """Cost of Tiskin-style blocked matrix multiplication of two n×n matrices.
+
+        Each processor computes an ``n/√p × n/√p`` block of the product,
+        streaming the required row/column panels through shared memory.  This
+        is used as a worked example in the documentation and tests.
+        """
+        ensure_positive_int(n, "n")
+        blocks = max(1, int(round(self.processors ** 0.5)))
+        tile = -(-n // blocks)
+        work = float(tile * tile * n)          # multiply-adds per processor
+        traffic = float(2 * tile * n + tile * tile)
+        self.validate_private_footprint(2 * tile * n)
+        superstep = BSPRAMSuperstep(
+            local_work=work, shared_reads=2 * tile * n, shared_writes=tile * tile
+        )
+        assert abs(superstep.shared_traffic - traffic) < 1e-9
+        return self.cost([superstep])

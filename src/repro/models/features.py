@@ -1,0 +1,166 @@
+"""Extended model-comparison matrix over classical and GPU abstract models.
+
+Table I of the paper compares only the GPU abstract models (AGPU, SWGPU,
+ATGPU).  Section I-B, however, also discusses why the classical models
+(PRAM, BSP, BSPRAM, PEM) are unsuitable.  This module builds an extended
+comparison matrix covering all seven models over the
+:class:`~repro.models.base.ModelFeature` flags, and provides the exact
+Table I subset through :func:`paper_table_view` (which delegates the flags
+of the three GPU models to :mod:`repro.core.comparison` so the two tables
+cannot drift apart).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.comparison import (
+    FEATURE_ROWS,
+    MODEL_COLUMNS,
+    model_feature_table,
+)
+from repro.models.base import ModelDescription, ModelFeature
+from repro.models.bsp import BSPMachine
+from repro.models.bspram import BSPRAM
+from repro.models.pem import PEMMachine
+from repro.models.pram import PRAM
+
+#: Feature flags of the three GPU abstract models discussed by the paper.
+AGPU_DESCRIPTION = ModelDescription(
+    name="AGPU",
+    citation="Koike & Sadakane, IPDPSW 2014",
+    features=frozenset({
+        ModelFeature.SHARED_MEMORY,
+        ModelFeature.MEMORY_HIERARCHY,
+        ModelFeature.BLOCK_TRANSFERS,
+        ModelFeature.LOCKSTEP_GROUPS,
+        ModelFeature.PSEUDOCODE,
+        ModelFeature.SPACE_COMPLEXITY,
+        ModelFeature.SHARED_MEMORY_LIMIT,
+    }),
+)
+
+SWGPU_DESCRIPTION = ModelDescription(
+    name="SWGPU",
+    citation="Sitchinava & Weichert, arXiv 2013",
+    features=frozenset({
+        ModelFeature.SHARED_MEMORY,
+        ModelFeature.MEMORY_HIERARCHY,
+        ModelFeature.BLOCK_TRANSFERS,
+        ModelFeature.LOCKSTEP_GROUPS,
+        ModelFeature.SYNCHRONISATION,
+        ModelFeature.COST_FUNCTION,
+    }),
+)
+
+ATGPU_DESCRIPTION = ModelDescription(
+    name="ATGPU",
+    citation="Carroll & Wong, ICPP Workshops 2017",
+    features=frozenset({
+        ModelFeature.SHARED_MEMORY,
+        ModelFeature.MEMORY_HIERARCHY,
+        ModelFeature.BLOCK_TRANSFERS,
+        ModelFeature.LOCKSTEP_GROUPS,
+        ModelFeature.SYNCHRONISATION,
+        ModelFeature.COST_FUNCTION,
+        ModelFeature.PSEUDOCODE,
+        ModelFeature.SPACE_COMPLEXITY,
+        ModelFeature.SHARED_MEMORY_LIMIT,
+        ModelFeature.GLOBAL_MEMORY_LIMIT,
+        ModelFeature.HOST_DEVICE_TRANSFER,
+    }),
+)
+
+
+def classical_model_descriptions() -> Tuple[ModelDescription, ...]:
+    """Descriptions of the four classical models with default parameters."""
+    return (
+        PRAM(processors=1024).description,
+        BSPMachine(processors=64, g=4.0, L=100.0).description,
+        BSPRAM(processors=64, g=4.0, L=100.0).description,
+        PEMMachine(processors=64, cache_words=4096, block_words=32).description,
+    )
+
+
+def all_model_descriptions() -> Tuple[ModelDescription, ...]:
+    """Classical models followed by the three GPU abstract models."""
+    return classical_model_descriptions() + (
+        AGPU_DESCRIPTION,
+        SWGPU_DESCRIPTION,
+        ATGPU_DESCRIPTION,
+    )
+
+
+def extended_feature_matrix() -> Dict[str, Dict[str, bool]]:
+    """``{feature value: {model name: supported}}`` over all seven models."""
+    descriptions = all_model_descriptions()
+    matrix: Dict[str, Dict[str, bool]] = {}
+    for feature in ModelFeature:
+        matrix[feature.value] = {
+            description.name: description.supports(feature)
+            for description in descriptions
+        }
+    return matrix
+
+
+def paper_table_view() -> Dict[str, Dict[str, bool]]:
+    """The exact Table I of the paper (AGPU / SWGPU / ATGPU rows only)."""
+    return model_feature_table()
+
+
+def gpu_suitability_ranking() -> List[Tuple[str, float]]:
+    """Models ranked by fraction of GPU-relevant features captured.
+
+    The ranking makes the narrative of Section I concrete: the classical
+    models trail the GPU abstract models, and ATGPU captures the most
+    features of all.
+    """
+    scores = []
+    total = len(ModelFeature)
+    for description in all_model_descriptions():
+        scores.append((description.name, len(description.features) / total))
+    return sorted(scores, key=lambda item: item[1], reverse=True)
+
+
+def render_extended_table(models: Sequence[str] = ()) -> str:
+    """Render the extended feature matrix as an aligned text table."""
+    matrix = extended_feature_matrix()
+    names = [d.name for d in all_model_descriptions()]
+    if models:
+        unknown = set(models) - set(names)
+        if unknown:
+            raise KeyError(f"unknown models requested: {sorted(unknown)}")
+        names = [n for n in names if n in set(models)]
+    header = ["Feature"] + names
+    rows = [header]
+    for feature, row in matrix.items():
+        rows.append([feature] + ["x" if row[name] else "-" for name in names])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    )
+
+
+def consistency_with_paper_table() -> bool:
+    """Check the extended matrix agrees with Table I on the shared entries.
+
+    Guards against the two feature tables drifting apart; exercised by the
+    test suite.
+    """
+    paper = paper_table_view()
+    by_name = {d.name: d for d in all_model_descriptions()}
+    feature_map = {
+        "Pseudocode": ModelFeature.PSEUDOCODE,
+        "Space Complexity": ModelFeature.SPACE_COMPLEXITY,
+        "Shared Memory Limit": ModelFeature.SHARED_MEMORY_LIMIT,
+        "Synchronisation": ModelFeature.SYNCHRONISATION,
+        "Cost Function": ModelFeature.COST_FUNCTION,
+        "Global Memory Limit": ModelFeature.GLOBAL_MEMORY_LIMIT,
+        "Host/Device Data Transfer": ModelFeature.HOST_DEVICE_TRANSFER,
+    }
+    for row_name, feature in feature_map.items():
+        for model in MODEL_COLUMNS:
+            if paper[row_name][model] != by_name[model].supports(feature):
+                return False
+    return True

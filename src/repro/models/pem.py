@@ -1,0 +1,104 @@
+"""The Parallel External Memory (PEM) model.
+
+Arge, Goodrich, Nelson & Sitchinava's PEM model has ``P`` processors, each
+with a private cache of ``M`` words, sharing an external main memory.  Both
+memories are partitioned into blocks of ``B`` words and data moves between
+them only in whole blocks; algorithms are analysed by the number of parallel
+block transfers (I/Os).  The paper highlights PEM's block-granular transfers
+as the feature ATGPU inherits for global memory, while noting PEM lacks
+warps and per-group shared memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.models.base import (
+    AbstractParallelModel,
+    ModelDescription,
+    ModelFeature,
+)
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass(frozen=True)
+class PEMComplexity:
+    """I/O and computation complexity of a PEM algorithm instance."""
+
+    parallel_io: float
+    parallel_computation: float
+
+
+class PEMMachine(AbstractParallelModel):
+    """A PEM machine with ``P`` processors, cache size ``M`` and block size ``B``."""
+
+    def __init__(self, processors: int, cache_words: int, block_words: int) -> None:
+        self.processors = ensure_positive_int(processors, "processors")
+        self.cache_words = ensure_positive_int(cache_words, "cache_words")
+        self.block_words = ensure_positive_int(block_words, "block_words")
+        if self.cache_words < self.block_words:
+            raise ValueError(
+                "the cache must hold at least one block "
+                f"(M={cache_words} < B={block_words})"
+            )
+
+    @property
+    def description(self) -> ModelDescription:
+        return ModelDescription(
+            name="PEM",
+            citation="Arge, Goodrich, Nelson & Sitchinava, SPAA 2008",
+            features=frozenset({
+                ModelFeature.PRIVATE_MEMORY,
+                ModelFeature.MEMORY_HIERARCHY,
+                ModelFeature.BLOCK_TRANSFERS,
+                ModelFeature.COST_FUNCTION,
+                ModelFeature.SPACE_COMPLEXITY,
+                ModelFeature.SHARED_MEMORY_LIMIT,
+            }),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Canonical PEM complexities (used for comparison and in tests)
+    # ------------------------------------------------------------------ #
+    def blocks(self, n: int) -> int:
+        """Number of blocks spanned by ``n`` contiguous words."""
+        ensure_positive_int(n, "n")
+        return math.ceil(n / self.block_words)
+
+    def scan_io(self, n: int) -> float:
+        """Parallel I/Os of a scan/map over ``n`` items: ``Θ(n / (P·B))``."""
+        return math.ceil(self.blocks(n) / self.processors)
+
+    def reduction_complexity(self, n: int) -> PEMComplexity:
+        """PEM complexity of reducing ``n`` values.
+
+        Each processor reduces its ``n/P`` share with ``n/(P·B)`` I/Os, then a
+        logarithmic combine over processors completes the result.
+        """
+        ensure_positive_int(n, "n")
+        local_io = math.ceil(self.blocks(n) / self.processors)
+        combine_io = max(1, math.ceil(math.log2(self.processors))) if self.processors > 1 else 0
+        local_work = math.ceil(n / self.processors)
+        combine_work = combine_io
+        return PEMComplexity(
+            parallel_io=float(local_io + combine_io),
+            parallel_computation=float(local_work + combine_work),
+        )
+
+    def sort_io(self, n: int) -> float:
+        """Parallel I/Os of PEM mergesort: ``Θ((n/(P·B))·log_{M/B}(n/B))``."""
+        ensure_positive_int(n, "n")
+        n_over_pb = self.blocks(n) / self.processors
+        base = self.cache_words / self.block_words
+        if base <= 1:
+            raise ValueError("cache must exceed one block for the sort bound")
+        log_term = max(1.0, math.log(max(self.blocks(n), 2), base))
+        return math.ceil(n_over_pb * log_term)
+
+    def matrix_multiply_io(self, n: int) -> float:
+        """Parallel I/Os of blocked matrix multiply: ``Θ(n^3/(P·B·√M))``."""
+        ensure_positive_int(n, "n")
+        return math.ceil(
+            n ** 3 / (self.processors * self.block_words * math.sqrt(self.cache_words))
+        )

@@ -1,0 +1,129 @@
+"""The Parallel Random Access Machine (PRAM).
+
+Fortune & Wyllie's PRAM consists of an unbounded number of synchronous
+processors sharing a flat random-access memory with unit-cost access.  It has
+no memory hierarchy, no notion of a warp and no communication cost -- which
+is exactly why the paper dismisses it as insufficient for GPU modelling.
+
+The implementation provides the standard PRAM variants (EREW / CREW / CRCW),
+a work/span style cost function, and a conflict checker that validates a set
+of concurrent accesses against the chosen variant's rules.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.models.base import (
+    AbstractParallelModel,
+    ModelDescription,
+    ModelFeature,
+)
+from repro.utils.validation import ensure_non_negative, ensure_positive_int
+
+
+class PRAMVariant(enum.Enum):
+    """Concurrent-access disciplines of the PRAM."""
+
+    EREW = "exclusive read, exclusive write"
+    CREW = "concurrent read, exclusive write"
+    CRCW = "concurrent read, concurrent write"
+
+
+@dataclass(frozen=True)
+class PRAMStep:
+    """One synchronous PRAM step: per-processor reads, computes and writes."""
+
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    operations: int = 1
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.operations, "operations")
+
+
+@dataclass(frozen=True)
+class PRAMCost:
+    """Work/span cost of a PRAM computation."""
+
+    steps: int
+    work: float
+
+    @property
+    def span(self) -> int:
+        """The parallel time (number of synchronous steps)."""
+        return self.steps
+
+
+class PRAM(AbstractParallelModel):
+    """A ``p``-processor PRAM of a given access variant."""
+
+    def __init__(self, processors: int, variant: PRAMVariant = PRAMVariant.CREW) -> None:
+        self.processors = ensure_positive_int(processors, "processors")
+        if not isinstance(variant, PRAMVariant):
+            raise TypeError("variant must be a PRAMVariant")
+        self.variant = variant
+
+    @property
+    def description(self) -> ModelDescription:
+        return ModelDescription(
+            name="PRAM",
+            citation="Fortune & Wyllie, STOC 1978",
+            features=frozenset({ModelFeature.SHARED_MEMORY,
+                                ModelFeature.COST_FUNCTION}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access-conflict rules
+    # ------------------------------------------------------------------ #
+    def check_step(self, step: PRAMStep) -> None:
+        """Raise :class:`ValueError` if ``step`` violates the access variant."""
+        if self.variant in (PRAMVariant.EREW,):
+            self._ensure_exclusive(step.reads, "read")
+        if self.variant in (PRAMVariant.EREW, PRAMVariant.CREW):
+            self._ensure_exclusive(step.writes, "write")
+
+    @staticmethod
+    def _ensure_exclusive(addresses: Iterable[int], kind: str) -> None:
+        seen: Dict[int, int] = {}
+        for address in addresses:
+            seen[address] = seen.get(address, 0) + 1
+        conflicts = {a: c for a, c in seen.items() if c > 1}
+        if conflicts:
+            raise ValueError(
+                f"exclusive-{kind} violation at addresses {sorted(conflicts)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Cost function
+    # ------------------------------------------------------------------ #
+    def cost(self, steps: Sequence[PRAMStep]) -> PRAMCost:
+        """Cost of a sequence of synchronous steps on this PRAM.
+
+        Every step takes unit time regardless of memory behaviour (the PRAM
+        has no memory hierarchy); the work is ``p`` times the per-step
+        operation count.
+        """
+        total_work = 0.0
+        for step in steps:
+            self.check_step(step)
+            total_work += self.processors * step.operations
+        return PRAMCost(steps=len(steps), work=total_work)
+
+    def brent_time(self, work: float, span: float) -> float:
+        """Brent's theorem bound ``T_p <= work/p + span``.
+
+        Used to schedule an idealised PRAM algorithm onto the model's ``p``
+        processors when the algorithm was designed for more.
+        """
+        ensure_non_negative(work, "work")
+        ensure_non_negative(span, "span")
+        return work / self.processors + span
+
+    def reduction_span(self, n: int) -> int:
+        """Span of a balanced binary-tree reduction of ``n`` values."""
+        ensure_positive_int(n, "n")
+        return max(1, math.ceil(math.log2(n))) if n > 1 else 0

@@ -1,0 +1,73 @@
+"""Static analysis of pseudocode programs into ATGPU metrics.
+
+The analyzer walks a validated :class:`~repro.pseudocode.program.Program`
+and produces the :class:`~repro.core.metrics.AlgorithmMetrics` of Section
+III: per round it counts the kernel operations (``t_i``), the global-memory
+block transactions (``q_i``), the transfer volumes and transaction counts
+(``I_i, O_i, Î_i, Ô_i``), the space footprints and the launched thread
+blocks (``k_i``).  The resulting metrics plug directly into the cost
+functions of :mod:`repro.core.cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics, MetricsBuilder, RoundMetrics
+from repro.pseudocode.program import Program, Round
+from repro.pseudocode.validation import validate_program
+
+
+def analyse_round(program: Program, round_: Round,
+                  params: Optional[Dict[str, float]] = None) -> RoundMetrics:
+    """Derive the :class:`RoundMetrics` of one round."""
+    params = dict(program.params if params is None else params)
+    builder = MetricsBuilder(label=round_.label or None)
+    builder.add_operations(round_.time(params))
+    builder.add_io(round_.io_blocks(params))
+    inward = round_.inward_words(params)
+    outward = round_.outward_words(params)
+    if inward:
+        builder.add_inward(inward, transactions=round_.inward_transactions)
+    elif round_.inward_transactions:
+        builder.add_inward(0.0, transactions=round_.inward_transactions)
+    if outward:
+        builder.add_outward(outward, transactions=round_.outward_transactions)
+    elif round_.outward_transactions:
+        builder.add_outward(0.0, transactions=round_.outward_transactions)
+    builder.use_global(program.global_words())
+    builder.use_shared(round_.shared_words_per_block())
+    builder.set_thread_blocks(round_.thread_blocks(params))
+    return builder.build()
+
+
+def analyse_program(
+    program: Program,
+    machine: Optional[ATGPUMachine] = None,
+    params: Optional[Dict[str, float]] = None,
+    validate: bool = True,
+) -> AlgorithmMetrics:
+    """Derive the :class:`AlgorithmMetrics` of a whole program.
+
+    Parameters
+    ----------
+    program:
+        The pseudocode program to analyse.
+    machine:
+        When given, the program is validated against the machine's capacity
+        limits and the returned metrics are checked to fit it.
+    params:
+        Override of the program's parameter dictionary (e.g. to analyse the
+        same program at a different input size).
+    validate:
+        Set to ``False`` to skip the structural validation pass (useful when
+        the caller already validated the program).
+    """
+    if validate:
+        validate_program(program, machine)
+    rounds = [analyse_round(program, r, params) for r in program.rounds]
+    metrics = AlgorithmMetrics(rounds, name=program.name)
+    if machine is not None:
+        metrics.validate_against(machine)
+    return metrics

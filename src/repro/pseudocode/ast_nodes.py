@@ -1,0 +1,302 @@
+"""Statement nodes of the ATGPU pseudocode notation.
+
+The notation (Section II of the paper) has three memory operators:
+
+* ``W``  -- host↔device transfer (:class:`TransferIn`, :class:`TransferOut`),
+* ``⇐`` -- global-memory access (:class:`GlobalToShared`, :class:`SharedToGlobal`),
+* ``←`` -- shared-memory access / assignment (:class:`SharedCompute`),
+
+plus ordinary register computation (:class:`Compute`), a restricted
+single-branch conditional (:class:`If`), a counted loop (:class:`Loop`), a
+barrier, and the wrapper loop over MPs and cores (:class:`KernelLaunch`).
+
+Every node carries two kinds of information:
+
+* **analytical** attributes (operation counts, global-memory blocks touched
+  per MP) consumed by the static analyzer to derive
+  :class:`~repro.core.metrics.AlgorithmMetrics`, and
+* optional **executable** semantics (index/compute callables) consumed by the
+  interpreter to run the program on the simulator.  Index callables receive
+  ``(block_index, lanes, params)`` and return per-lane element indices;
+  compute callables receive ``(shared, lanes, params)`` where ``shared`` maps
+  shared-variable names to their per-block NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.pseudocode.variables import Scope, Variable, scope_of_name
+from repro.utils.validation import ensure_non_negative, ensure_positive_int
+
+#: Index callable: (block_index, lanes, params) -> per-lane element indices.
+IndexFn = Callable[[int, np.ndarray, Dict[str, float]], np.ndarray]
+#: Compute callable: (shared_arrays, lanes, params) -> per-lane values.
+ComputeFn = Callable[[Dict[str, np.ndarray], np.ndarray, Dict[str, float]], np.ndarray]
+#: A value that may depend on the program parameters.
+Param = Union[int, float, Callable[[Dict[str, float]], float]]
+
+
+def resolve(value: Param, params: Dict[str, float]) -> float:
+    """Resolve a possibly parameter-dependent scalar."""
+    if callable(value):
+        return float(value(params))
+    return float(value)
+
+
+class Statement:
+    """Base class for pseudocode statements (kernel-body level)."""
+
+    #: Warp-instructions this statement contributes to the round time ``t_i``.
+    operations: Param = 1
+
+    def operation_count(self, params: Dict[str, float]) -> float:
+        """Operations contributed to ``t_i`` (per MP, per execution)."""
+        return resolve(self.operations, params)
+
+    def io_blocks_per_mp(self, params: Dict[str, float]) -> float:
+        """Global-memory blocks this statement touches per MP (contributes to ``q_i``)."""
+        return 0.0
+
+
+@dataclass
+class TransferIn(Statement):
+    """``dest W src`` -- move a host variable into a global variable.
+
+    One :class:`TransferIn` is one transfer transaction (one ``cudaMemcpy``).
+    """
+
+    dest: str
+    src: str
+    words: Param
+    operations: Param = 0
+
+    def __post_init__(self) -> None:
+        if scope_of_name(self.dest) is not Scope.GLOBAL:
+            raise ValueError(f"TransferIn destination {self.dest!r} must be a global variable")
+        if scope_of_name(self.src) is not Scope.HOST:
+            raise ValueError(f"TransferIn source {self.src!r} must be a host variable")
+
+    def word_count(self, params: Dict[str, float]) -> float:
+        """Words moved host → device."""
+        return resolve(self.words, params)
+
+
+@dataclass
+class TransferOut(Statement):
+    """``Dest W src`` -- move a global variable (or a prefix of it) to the host."""
+
+    dest: str
+    src: str
+    words: Param
+    operations: Param = 0
+
+    def __post_init__(self) -> None:
+        if scope_of_name(self.dest) is not Scope.HOST:
+            raise ValueError(f"TransferOut destination {self.dest!r} must be a host variable")
+        if scope_of_name(self.src) is not Scope.GLOBAL:
+            raise ValueError(f"TransferOut source {self.src!r} must be a global variable")
+
+    def word_count(self, params: Dict[str, float]) -> float:
+        """Words moved device → host."""
+        return resolve(self.words, params)
+
+
+@dataclass
+class GlobalToShared(Statement):
+    """``_dest[·] ⇐ src[·]`` -- global-memory read into shared memory."""
+
+    dest: str
+    src: str
+    #: Global-memory blocks touched per MP by this access (1 when coalesced).
+    blocks_per_mp: Param = 1
+    operations: Param = 1
+    #: Executable semantics: indices into the global source array.
+    global_index: Optional[IndexFn] = None
+    #: Executable semantics: indices into the shared destination array
+    #: (defaults to the lane index).
+    shared_index: Optional[IndexFn] = None
+
+    def __post_init__(self) -> None:
+        if scope_of_name(self.dest) is not Scope.SHARED:
+            raise ValueError(f"GlobalToShared destination {self.dest!r} must be shared")
+        if scope_of_name(self.src) is not Scope.GLOBAL:
+            raise ValueError(f"GlobalToShared source {self.src!r} must be global")
+
+    def io_blocks_per_mp(self, params: Dict[str, float]) -> float:
+        return resolve(self.blocks_per_mp, params)
+
+
+@dataclass
+class SharedToGlobal(Statement):
+    """``dest[·] ⇐ _src[·]`` -- shared-memory contents written to global memory."""
+
+    dest: str
+    src: str
+    blocks_per_mp: Param = 1
+    operations: Param = 1
+    global_index: Optional[IndexFn] = None
+    shared_index: Optional[IndexFn] = None
+    #: Optional lane predicate: only lanes where it returns True store.
+    lane_mask: Optional[IndexFn] = None
+
+    def __post_init__(self) -> None:
+        if scope_of_name(self.dest) is not Scope.GLOBAL:
+            raise ValueError(f"SharedToGlobal destination {self.dest!r} must be global")
+        if scope_of_name(self.src) is not Scope.SHARED:
+            raise ValueError(f"SharedToGlobal source {self.src!r} must be shared")
+
+    def io_blocks_per_mp(self, params: Dict[str, float]) -> float:
+        return resolve(self.blocks_per_mp, params)
+
+
+@dataclass
+class SharedCompute(Statement):
+    """``_dest[·] ← expression`` -- computation whose result lands in shared memory."""
+
+    dest: str
+    expression: str
+    operations: Param = 1
+    compute: Optional[ComputeFn] = None
+    shared_index: Optional[IndexFn] = None
+
+    def __post_init__(self) -> None:
+        if scope_of_name(self.dest) is not Scope.SHARED:
+            raise ValueError(f"SharedCompute destination {self.dest!r} must be shared")
+
+
+@dataclass
+class Compute(Statement):
+    """Pure register computation (no memory traffic)."""
+
+    description: str = ""
+    operations: Param = 1
+
+
+@dataclass
+class Barrier(Statement):
+    """Block-wide synchronisation of the warps of a thread block."""
+
+    operations: Param = 1
+
+
+@dataclass
+class If(Statement):
+    """The restricted single-branch conditional of the notation.
+
+    The model executes all divergent paths, so the analyzer charges the full
+    body regardless of the condition; the interpreter evaluates ``condition``
+    (a lane mask) to decide which lanes' effects are applied, but still
+    charges the body's operations.
+    """
+
+    condition_description: str
+    body: Tuple[Statement, ...]
+    operations: Param = 1
+    condition: Optional[IndexFn] = None
+
+    def __post_init__(self) -> None:
+        self.body = tuple(self.body)
+        if not self.body:
+            raise ValueError("an If statement requires a non-empty body")
+
+    def operation_count(self, params: Dict[str, float]) -> float:
+        return resolve(self.operations, params) + sum(
+            s.operation_count(params) for s in self.body
+        )
+
+    def io_blocks_per_mp(self, params: Dict[str, float]) -> float:
+        return sum(s.io_blocks_per_mp(params) for s in self.body)
+
+
+@dataclass
+class Loop(Statement):
+    """A counted loop executed identically by every MP.
+
+    ``count`` may depend on the program parameters; the loop variable is
+    exposed to nested executable semantics through ``params[var]``.
+    """
+
+    count: Param
+    body: Tuple[Statement, ...]
+    var: str = "iteration"
+    operations: Param = 0
+
+    def __post_init__(self) -> None:
+        self.body = tuple(self.body)
+        if not self.body:
+            raise ValueError("a Loop requires a non-empty body")
+
+    def iterations(self, params: Dict[str, float]) -> int:
+        """Number of iterations for the given parameters."""
+        count = resolve(self.count, params)
+        iterations = int(round(count))
+        if iterations < 0:
+            raise ValueError(f"loop count must be >= 0, got {count}")
+        return iterations
+
+    def operation_count(self, params: Dict[str, float]) -> float:
+        iterations = self.iterations(params)
+        per_iteration = sum(s.operation_count(params) for s in self.body)
+        return resolve(self.operations, params) + iterations * per_iteration
+
+    def io_blocks_per_mp(self, params: Dict[str, float]) -> float:
+        iterations = self.iterations(params)
+        return iterations * sum(s.io_blocks_per_mp(params) for s in self.body)
+
+
+@dataclass
+class KernelLaunch:
+    """The wrapper loop: run a statement body on all (or a subset of) MPs.
+
+    Parameters
+    ----------
+    grid_blocks:
+        Number of thread blocks (MPs of the perfect machine) the kernel runs
+        on -- the ``k_i`` of Expression (2).
+    body:
+        Kernel-body statements, executed by every block.
+    shared_declarations:
+        Shared variables each block allocates; their total size is the
+        per-block shared-memory footprint ``m``.
+    label:
+        Human-readable kernel name.
+    """
+
+    grid_blocks: Param
+    body: Tuple[Statement, ...]
+    shared_declarations: Tuple[Variable, ...] = ()
+    label: str = "kernel"
+
+    def __post_init__(self) -> None:
+        self.body = tuple(self.body)
+        self.shared_declarations = tuple(self.shared_declarations)
+        if not self.body:
+            raise ValueError("a kernel launch requires a non-empty body")
+        for variable in self.shared_declarations:
+            if variable.scope is not Scope.SHARED:
+                raise ValueError(
+                    f"kernel shared declaration {variable.name!r} must have shared scope"
+                )
+
+    def grid(self, params: Dict[str, float]) -> int:
+        """Resolved grid size."""
+        grid = int(round(resolve(self.grid_blocks, params)))
+        ensure_positive_int(grid, "grid_blocks")
+        return grid
+
+    def shared_words_per_block(self) -> int:
+        """Shared-memory words allocated by one block."""
+        return sum(v.size for v in self.shared_declarations)
+
+    def time(self, params: Dict[str, float]) -> float:
+        """Operations contributed to the round time ``t_i``."""
+        return sum(s.operation_count(params) for s in self.body)
+
+    def io_blocks(self, params: Dict[str, float]) -> float:
+        """Global-memory blocks accessed by the whole launch (``q`` contribution)."""
+        per_mp = sum(s.io_blocks_per_mp(params) for s in self.body)
+        return per_mp * self.grid(params)

@@ -1,0 +1,233 @@
+"""Execution of pseudocode programs on the abstract-GPU simulator.
+
+The interpreter turns each :class:`~repro.pseudocode.ast_nodes.KernelLaunch`
+into a :class:`~repro.simulator.kernel.KernelProgram` whose per-block body
+walks the statement list, performing real data movement through the block
+context.  Rounds are executed exactly as the model prescribes: inward ``W``
+transfers, kernel launches, outward ``W`` transfers, synchronisation.
+
+Only statements that carry executable semantics (index / compute callables)
+can be interpreted; a program written purely for analysis raises
+:class:`MissingSemanticsError` when executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.pseudocode.ast_nodes import (
+    Barrier,
+    Compute,
+    GlobalToShared,
+    If,
+    KernelLaunch,
+    Loop,
+    SharedCompute,
+    SharedToGlobal,
+    Statement,
+)
+from repro.pseudocode.program import Program
+from repro.pseudocode.validation import validate_program
+from repro.simulator.device import GPUDevice
+from repro.simulator.kernel import BlockContext, KernelProgram
+
+
+class MissingSemanticsError(RuntimeError):
+    """Raised when executing a statement that has no executable semantics."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs and timing of one interpreted program run."""
+
+    outputs: Dict[str, np.ndarray]
+    total_time_s: float
+    kernel_time_s: float
+    transfer_time_s: float
+    sync_time_s: float
+
+    @property
+    def observed_transfer_proportion(self) -> float:
+        """``ΔE`` of the run (transfer share of the total time)."""
+        if self.total_time_s == 0:
+            return 0.0
+        return self.transfer_time_s / self.total_time_s
+
+
+class _DSLKernelAdapter(KernelProgram):
+    """Adapts a pseudocode kernel launch to the simulator kernel interface."""
+
+    def __init__(self, launch: KernelLaunch, program: Program,
+                 params: Dict[str, float]) -> None:
+        self.launch = launch
+        self.program = program
+        self.params = dict(params)
+        self.name = launch.label
+
+    def grid_size(self) -> int:
+        return self.launch.grid(self.params)
+
+    def array_names(self) -> Tuple[str, ...]:
+        names = set()
+        for statement, _ in _walk(self.launch.body):
+            if isinstance(statement, GlobalToShared):
+                names.add(statement.src)
+            elif isinstance(statement, SharedToGlobal):
+                names.add(statement.dest)
+        return tuple(sorted(names))
+
+    def shared_words_per_block(self) -> int:
+        return self.launch.shared_words_per_block()
+
+    # ------------------------------------------------------------------ #
+    # Block body
+    # ------------------------------------------------------------------ #
+    def run_block(self, ctx: BlockContext) -> None:
+        shared: Dict[str, np.ndarray] = {}
+        for declaration in self.launch.shared_declarations:
+            shared[declaration.name] = ctx.shared_alloc(
+                declaration.name, declaration.size
+            )
+        params = dict(self.params)
+        self._run_statements(self.launch.body, ctx, shared, params)
+
+    def _run_statements(self, statements, ctx: BlockContext,
+                        shared: Dict[str, np.ndarray],
+                        params: Dict[str, float]) -> None:
+        lanes = ctx.lanes
+        for statement in statements:
+            if isinstance(statement, GlobalToShared):
+                self._require(statement.global_index, statement)
+                g_idx = np.asarray(statement.global_index(ctx.block_index, lanes, params))
+                values = ctx.global_read(statement.src, g_idx)
+                s_idx = (np.asarray(statement.shared_index(ctx.block_index, lanes, params))
+                         if statement.shared_index else lanes[: g_idx.size])
+                ctx.shared_write(statement.dest, s_idx, values)
+                shared[statement.dest][s_idx] = values
+            elif isinstance(statement, SharedToGlobal):
+                self._require(statement.global_index, statement)
+                g_idx = np.asarray(statement.global_index(ctx.block_index, lanes, params))
+                s_idx = (np.asarray(statement.shared_index(ctx.block_index, lanes, params))
+                         if statement.shared_index else lanes[: g_idx.size])
+                if statement.lane_mask is not None:
+                    mask = np.asarray(
+                        statement.lane_mask(ctx.block_index, lanes, params), dtype=bool
+                    )
+                    g_idx, s_idx = g_idx[mask[: g_idx.size]], s_idx[mask[: s_idx.size]]
+                    if g_idx.size == 0:
+                        ctx.compute(statement.operation_count(params), label="masked store")
+                        continue
+                values = ctx.shared_read(statement.src, s_idx)
+                ctx.global_write(statement.dest, g_idx, values)
+            elif isinstance(statement, SharedCompute):
+                self._require(statement.compute, statement)
+                values = np.asarray(statement.compute(shared, lanes, params))
+                s_idx = (np.asarray(statement.shared_index(ctx.block_index, lanes, params))
+                         if statement.shared_index else lanes[: values.size])
+                ctx.shared_write(statement.dest, s_idx, values)
+                shared[statement.dest][s_idx] = values
+            elif isinstance(statement, Compute):
+                ctx.compute(statement.operation_count(params),
+                            label=statement.description)
+            elif isinstance(statement, Barrier):
+                ctx.barrier()
+            elif isinstance(statement, If):
+                # All paths are executed by the lockstep warp: charge the body
+                # operations, then apply effects only where the mask holds.
+                ctx.compute(float(statement.operations if not callable(statement.operations)
+                                  else statement.operations(params)),
+                            label=statement.condition_description)
+                self._run_statements(statement.body, ctx, shared, params)
+            elif isinstance(statement, Loop):
+                iterations = statement.iterations(params)
+                for i in range(iterations):
+                    inner = dict(params)
+                    inner[statement.var] = i
+                    self._run_statements(statement.body, ctx, shared, inner)
+            else:  # pragma: no cover - defensive
+                raise MissingSemanticsError(
+                    f"interpreter does not know statement type {type(statement).__name__}"
+                )
+
+    @staticmethod
+    def _require(fn, statement: Statement) -> None:
+        if fn is None:
+            raise MissingSemanticsError(
+                f"statement {type(statement).__name__} has no executable semantics "
+                "(index/compute callables); this program can only be analysed"
+            )
+
+
+def _walk(statements):
+    for statement in statements:
+        yield statement, 0
+        if isinstance(statement, (If, Loop)):
+            yield from _walk(statement.body)
+
+
+class ProgramInterpreter:
+    """Runs pseudocode programs on a :class:`~repro.simulator.device.GPUDevice`."""
+
+    def __init__(self, device: Optional[GPUDevice] = None) -> None:
+        self.device = device or GPUDevice()
+
+    def execute(
+        self,
+        program: Program,
+        host_inputs: Dict[str, np.ndarray],
+        params: Optional[Dict[str, float]] = None,
+        validate: bool = True,
+    ) -> ExecutionResult:
+        """Execute ``program`` and return its host outputs and timings.
+
+        ``host_inputs`` maps host-variable names to NumPy arrays; every host
+        variable used as a transfer source must be present.  Outputs are the
+        host variables used as transfer destinations.
+        """
+        if validate:
+            validate_program(program, self.device.config.abstract_machine())
+        run_params = dict(program.params if params is None else params)
+        run_params.setdefault("b", self.device.config.warp_width)
+        outputs: Dict[str, np.ndarray] = {}
+        # Global variables that are only ever written by kernels (e.g. the
+        # output vector of vector addition) still need device allocations of
+        # their declared size before the first launch references them.
+        from repro.pseudocode.variables import Scope
+
+        for variable in program.variables_in_scope(Scope.GLOBAL):
+            if variable.name not in self.device.global_memory:
+                self.device.allocate(variable.name, variable.size, dtype=np.float64)
+        for round_ in program.rounds:
+            for transfer in round_.transfers_in:
+                if transfer.src not in host_inputs:
+                    raise KeyError(
+                        f"host input {transfer.src!r} required by program "
+                        f"{program.name!r} was not provided"
+                    )
+                data = np.asarray(host_inputs[transfer.src])
+                words = int(round(transfer.word_count(run_params)))
+                self.device.memcpy_htod(transfer.dest, data.reshape(-1)[:words])
+            for launch in round_.launches:
+                adapter = _DSLKernelAdapter(launch, program, run_params)
+                self.device.launch(adapter)
+            for transfer in round_.transfers_out:
+                words = int(round(transfer.word_count(run_params)))
+                array = self.device.array(transfer.src)
+                if words < array.length:
+                    outputs[transfer.dest] = self.device.memcpy_dtoh_partial(
+                        transfer.src, words
+                    )
+                else:
+                    outputs[transfer.dest] = self.device.memcpy_dtoh(transfer.src)
+            if round_.synchronise:
+                self.device.synchronise(label=round_.label or "round sync")
+        return ExecutionResult(
+            outputs=outputs,
+            total_time_s=self.device.total_time_s,
+            kernel_time_s=self.device.kernel_time_s,
+            transfer_time_s=self.device.transfer_time_s,
+            sync_time_s=self.device.sync_time_s,
+        )

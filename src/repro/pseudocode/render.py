@@ -1,0 +1,95 @@
+"""Pretty-printing of pseudocode programs in the paper's notation.
+
+Renders a :class:`~repro.pseudocode.program.Program` as text resembling the
+pseudocode listings of the paper: ``W`` for host↔device transfer, ``<==``
+for global-memory access, ``<-`` for shared-memory access, and the wrapper
+loop over MPs and cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.pseudocode.ast_nodes import (
+    Barrier,
+    Compute,
+    GlobalToShared,
+    If,
+    KernelLaunch,
+    Loop,
+    SharedCompute,
+    SharedToGlobal,
+    Statement,
+)
+from repro.pseudocode.program import Program
+
+#: ASCII stand-ins for the paper's operators.
+TRANSFER_OP = "W"
+GLOBAL_OP = "<=="
+SHARED_OP = "<-"
+
+
+def _render_statement(statement: Statement, indent: int) -> List[str]:
+    pad = "    " * indent
+    if isinstance(statement, GlobalToShared):
+        return [f"{pad}{statement.dest}[.] {GLOBAL_OP} {statement.src}[.]"]
+    if isinstance(statement, SharedToGlobal):
+        return [f"{pad}{statement.dest}[.] {GLOBAL_OP} {statement.src}[.]"]
+    if isinstance(statement, SharedCompute):
+        return [f"{pad}{statement.dest}[.] {SHARED_OP} {statement.expression}"]
+    if isinstance(statement, Compute):
+        return [f"{pad}{statement.description or 'compute'}"]
+    if isinstance(statement, Barrier):
+        return [f"{pad}barrier()"]
+    if isinstance(statement, If):
+        lines = [f"{pad}if {statement.condition_description} then"]
+        for inner in statement.body:
+            lines.extend(_render_statement(inner, indent + 1))
+        lines.append(f"{pad}end if")
+        return lines
+    if isinstance(statement, Loop):
+        lines = [f"{pad}for {statement.var} = 1 -> {statement.count!r} do"]
+        for inner in statement.body:
+            lines.extend(_render_statement(inner, indent + 1))
+        lines.append(f"{pad}end for")
+        return lines
+    return [f"{pad}{type(statement).__name__}"]
+
+
+def render_launch(launch: KernelLaunch, indent: int = 1) -> List[str]:
+    """Render one kernel launch with the wrapper loop."""
+    pad = "    " * indent
+    lines = [
+        f"{pad}for all mp_rho in MP[mp_0, ..., mp_(k-1)] in parallel do",
+        f"{pad}    for all c_(rho,eps) in C_rho in parallel do",
+    ]
+    for statement in launch.body:
+        lines.extend(_render_statement(statement, indent + 2))
+    lines.append(f"{pad}    end for")
+    lines.append(f"{pad}end for")
+    return lines
+
+
+def render_program(program: Program) -> str:
+    """Render a whole program in the paper's pseudocode style."""
+    lines: List[str] = [f"Pseudocode {program.name}"]
+    step = 1
+    for round_index, round_ in enumerate(program.rounds, start=1):
+        if len(program.rounds) > 1:
+            lines.append(f"-- round {round_index}"
+                         + (f" ({round_.label})" if round_.label else ""))
+        for transfer in round_.transfers_in:
+            lines.append(f"{step:>2}: {transfer.dest} {TRANSFER_OP} {transfer.src}"
+                         "    . Transfer data to Device")
+            step += 1
+        for launch in round_.launches:
+            for line in render_launch(launch):
+                lines.append(f"{step:>2}: {line}" if line.strip().startswith("for all mp")
+                             else f"    {line}")
+                if line.strip().startswith("for all mp"):
+                    step += 1
+        for transfer in round_.transfers_out:
+            lines.append(f"{step:>2}: {transfer.dest} {TRANSFER_OP} {transfer.src}"
+                         "    . Transfer output to Host")
+            step += 1
+    return "\n".join(lines)

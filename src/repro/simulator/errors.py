@@ -1,0 +1,27 @@
+"""Exception types raised by the abstract-GPU simulator."""
+
+from __future__ import annotations
+
+
+class SimulatorError(RuntimeError):
+    """Base class for all simulator errors."""
+
+
+class OutOfGlobalMemoryError(SimulatorError):
+    """Raised when a device allocation exceeds the global-memory capacity ``G``."""
+
+
+class OutOfSharedMemoryError(SimulatorError):
+    """Raised when a block's shared-memory allocations exceed the per-MP capacity ``M``."""
+
+
+class InvalidAccessError(SimulatorError):
+    """Raised on out-of-bounds or otherwise malformed memory accesses."""
+
+
+class AllocationError(SimulatorError):
+    """Raised on invalid allocation or deallocation requests (double free, unknown name, ...)."""
+
+
+class LaunchError(SimulatorError):
+    """Raised when a kernel launch is malformed (zero blocks, missing arrays, ...)."""

@@ -1,0 +1,126 @@
+"""The host↔device transfer engine of the simulator.
+
+Models a PCIe-like link: every transfer pays a fixed per-transaction latency
+(driver call, DMA setup, page pinning) plus a streaming time proportional to
+the byte count at the link's effective bandwidth.  Pageable and pinned host
+memory use different effective bandwidths, reflecting the measurements of
+Fujii et al. and Van Werkhoven et al. cited by the paper.
+
+This is the *mechanistic* counterpart of the abstract model's Boyer cost
+``T = n̂·α + n·β``: the simulator produces transfer times from link
+parameters, and the calibration machinery in :mod:`repro.core.calibration`
+can recover ``α`` and ``β`` from those times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.transfer import TransferDirection
+from repro.simulator.config import WORD_BYTES, DeviceConfig
+from repro.utils.validation import ensure_non_negative
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed host↔device transfer."""
+
+    direction: TransferDirection
+    words: int
+    duration_s: float
+    pinned: bool
+    label: str = ""
+
+    @property
+    def bytes(self) -> int:
+        """Bytes moved by the transfer."""
+        return self.words * WORD_BYTES
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Achieved bandwidth including the fixed overhead."""
+        if self.duration_s == 0:
+            return float("inf")
+        return self.bytes / self.duration_s
+
+
+@dataclass
+class TransferEngine:
+    """Computes transfer durations and accumulates transfer statistics."""
+
+    config: DeviceConfig
+    records: List[TransferRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Timing model
+    # ------------------------------------------------------------------ #
+    def duration(
+        self, words: int, direction: TransferDirection, pinned: bool = False
+    ) -> float:
+        """Duration in seconds of a transfer of ``words`` words."""
+        ensure_non_negative(words, "words")
+        if words == 0:
+            return self.config.transfer_latency_s
+        if direction is TransferDirection.HOST_TO_DEVICE:
+            bandwidth = self.config.h2d_bandwidth_bytes_per_s
+        elif direction is TransferDirection.DEVICE_TO_HOST:
+            bandwidth = self.config.d2h_bandwidth_bytes_per_s
+        else:  # pragma: no cover - defensive
+            raise TypeError("direction must be a TransferDirection")
+        if pinned:
+            bandwidth *= self.config.pinned_speedup
+        streaming = words * WORD_BYTES / bandwidth
+        return self.config.transfer_latency_s + streaming
+
+    def transfer(
+        self,
+        words: int,
+        direction: TransferDirection,
+        pinned: bool = False,
+        label: str = "",
+    ) -> TransferRecord:
+        """Perform (account for) a transfer and append it to the record list."""
+        duration = self.duration(words, direction, pinned=pinned)
+        record = TransferRecord(
+            direction=direction,
+            words=int(words),
+            duration_s=duration,
+            pinned=pinned,
+            label=label,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def total_time(self) -> float:
+        """Total seconds spent transferring (both directions)."""
+        return sum(r.duration_s for r in self.records)
+
+    def total_words(self, direction: TransferDirection = None) -> int:
+        """Total words moved, optionally restricted to one direction."""
+        return sum(
+            r.words for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def transaction_count(self, direction: TransferDirection = None) -> int:
+        """Number of transfer transactions performed."""
+        return sum(
+            1 for r in self.records
+            if direction is None or r.direction is direction
+        )
+
+    def implied_boyer_parameters(self) -> Tuple[float, float]:
+        """The ``(α, β)`` this engine realises for pageable host→device copies.
+
+        ``α`` is the configured per-transaction latency; ``β`` is the
+        per-word streaming time at the pageable host→device bandwidth.  This
+        is what a user should plug into :class:`repro.core.cost.CostParameters`
+        to have the cost model and the simulator agree on transfer behaviour.
+        """
+        alpha = self.config.transfer_latency_s
+        beta = WORD_BYTES / self.config.h2d_bandwidth_bytes_per_s
+        return alpha, beta

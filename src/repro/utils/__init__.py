@@ -1,0 +1,52 @@
+"""Shared utilities for the ATGPU reproduction.
+
+This package contains small, dependency-free helpers used across the core
+model, the simulator and the experiment harness:
+
+* :mod:`repro.utils.validation` -- argument-checking helpers with consistent
+  error messages.
+* :mod:`repro.utils.units` -- conversions between cycles, seconds, words and
+  bytes for a given clock rate / word size.
+* :mod:`repro.utils.stats` -- series normalisation, relative errors and the
+  "capture fraction" statistics reported in Section IV-D of the paper.
+"""
+
+from repro.utils.stats import (
+    average,
+    capture_fraction,
+    mean_absolute_difference,
+    normalise_series,
+    relative_error,
+    transfer_proportion,
+)
+from repro.utils.units import (
+    BYTES_PER_WORD,
+    bytes_to_words,
+    cycles_to_seconds,
+    seconds_to_cycles,
+    words_to_bytes,
+)
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_power_of_two,
+)
+
+__all__ = [
+    "average",
+    "capture_fraction",
+    "mean_absolute_difference",
+    "normalise_series",
+    "relative_error",
+    "transfer_proportion",
+    "BYTES_PER_WORD",
+    "bytes_to_words",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "words_to_bytes",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_power_of_two",
+]

@@ -1,0 +1,131 @@
+"""Statistics helpers used by the prediction / evaluation machinery.
+
+These functions implement the exact quantities the paper reports in its
+evaluation (Section IV):
+
+* normalisation of a cost or time series to the ``[0, 1]`` range
+  (Figures 3c and 4c),
+* the transfer proportion ``Δ`` -- the fraction of total cost/time spent on
+  data transfer (Figure 6),
+* the *capture fraction* -- what share of the observed total running time a
+  model's prediction accounts for (Section IV-D quotes 16 %, 58 % and 89 %
+  for SWGPU on the three problems), and
+* simple averages / relative errors used in the summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def normalise_series(values: Sequence[float]) -> np.ndarray:
+    """Normalise ``values`` linearly onto ``[0, 1]``.
+
+    The paper normalises each curve independently (Figures 3c, 4c) so that
+    growth *rates* can be compared across quantities with different units
+    (abstract cost vs milliseconds).  A constant series maps to all zeros.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("normalise_series expects a 1-D sequence")
+    if arr.size == 0:
+        return arr.copy()
+    if np.any(~np.isfinite(arr)):
+        raise ValueError("normalise_series requires finite values")
+    lo = arr.min()
+    hi = arr.max()
+    if hi == lo:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)
+
+
+def transfer_proportion(transfer: float, total: float) -> float:
+    """Return ``Δ``, the proportion of ``total`` attributable to ``transfer``.
+
+    Used both for observed times (``ΔE``) and for predicted costs (``ΔT``)
+    in Figure 6.  ``total`` must be positive and at least ``transfer``.
+    """
+    if total <= 0:
+        raise ValueError(f"total must be > 0, got {total!r}")
+    if transfer < 0:
+        raise ValueError(f"transfer must be >= 0, got {transfer!r}")
+    if transfer > total * (1 + 1e-12):
+        raise ValueError(
+            f"transfer ({transfer!r}) cannot exceed total ({total!r})"
+        )
+    return min(transfer / total, 1.0)
+
+
+def capture_fraction(predicted_component: float, observed_total: float) -> float:
+    """Fraction of the observed total accounted for by a model component.
+
+    Section IV-D: "the SWGPU captures on average only 16 % of the actual
+    running time for the vector addition example".  In our reproduction the
+    predicted component and the observed total live in different units
+    (abstract cost vs simulated time), so callers first map the prediction to
+    time via the calibrated operation rate; this helper merely forms the
+    ratio and clips it to ``[0, 1]``.
+    """
+    if observed_total <= 0:
+        raise ValueError(f"observed_total must be > 0, got {observed_total!r}")
+    if predicted_component < 0:
+        raise ValueError(
+            f"predicted_component must be >= 0, got {predicted_component!r}"
+        )
+    return float(min(predicted_component / observed_total, 1.0))
+
+
+def average(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("average of an empty sequence is undefined")
+    return float(arr.mean())
+
+
+def relative_error(predicted: float, observed: float) -> float:
+    """Relative error ``|predicted - observed| / |observed|``."""
+    if observed == 0:
+        raise ValueError("relative_error undefined for observed == 0")
+    return abs(predicted - observed) / abs(observed)
+
+
+def mean_absolute_difference(
+    series_a: Sequence[float], series_b: Sequence[float]
+) -> float:
+    """Mean of ``|a_i - b_i|`` over two equal-length series.
+
+    The paper summarises Figure 6 with statements like "the predicted
+    proportions of cost allocated to data transfer are on average to within
+    1.5 % of observed proportions for vector addition"; this helper computes
+    that average absolute gap.
+    """
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"series must have the same shape, got {a.shape} and {b.shape}"
+        )
+    if a.size == 0:
+        raise ValueError("mean_absolute_difference of empty series is undefined")
+    return float(np.abs(a - b).mean())
+
+
+def growth_rate_similarity(
+    series_a: Sequence[float], series_b: Sequence[float]
+) -> float:
+    """Similarity of growth shapes of two series, in ``[0, 1]``.
+
+    Both series are normalised to ``[0, 1]`` and the mean absolute gap is
+    subtracted from one.  A value of ``1.0`` means identical normalised
+    shapes.  This is the quantitative form of the paper's visual argument
+    that "the ATGPU function has a rate of growth which is much closer to the
+    actual total running time".
+    """
+    a = normalise_series(series_a)
+    b = normalise_series(series_b)
+    if a.size != b.size:
+        raise ValueError("series must have the same length")
+    return float(1.0 - np.abs(a - b).mean())

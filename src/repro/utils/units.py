@@ -1,0 +1,53 @@
+"""Unit conversions used throughout the model and the simulator.
+
+The abstract model counts *words* and *cycles*; the simulator and the
+experiment harness report *bytes* and *milliseconds*.  The paper's kernels
+operate on 32-bit integers, so one word is four bytes by default.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import ensure_non_negative, ensure_positive
+
+#: Size of one abstract-machine word in bytes (the paper's kernels use C ``int``).
+BYTES_PER_WORD: int = 4
+
+
+def words_to_bytes(words: float, bytes_per_word: int = BYTES_PER_WORD) -> float:
+    """Convert a word count to bytes."""
+    ensure_non_negative(words, "words")
+    ensure_positive(bytes_per_word, "bytes_per_word")
+    return float(words) * bytes_per_word
+
+
+def bytes_to_words(nbytes: float, bytes_per_word: int = BYTES_PER_WORD) -> float:
+    """Convert a byte count to (possibly fractional) words."""
+    ensure_non_negative(nbytes, "nbytes")
+    ensure_positive(bytes_per_word, "bytes_per_word")
+    return float(nbytes) / bytes_per_word
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count to seconds at a given clock rate."""
+    ensure_non_negative(cycles, "cycles")
+    ensure_positive(clock_hz, "clock_hz")
+    return float(cycles) / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to cycles at a given clock rate."""
+    ensure_non_negative(seconds, "seconds")
+    ensure_positive(clock_hz, "clock_hz")
+    return float(seconds) * clock_hz
+
+
+def seconds_to_milliseconds(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    ensure_non_negative(seconds, "seconds")
+    return seconds * 1e3
+
+
+def milliseconds_to_seconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    ensure_non_negative(milliseconds, "milliseconds")
+    return milliseconds / 1e3

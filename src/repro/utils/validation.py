@@ -1,0 +1,101 @@
+"""Argument-validation helpers.
+
+All validators raise :class:`ValueError` (or :class:`TypeError` for wrong
+types) with a message that names the offending parameter, so errors raised
+deep inside the model or the simulator are still actionable for a caller of
+the public API.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Optional
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is a strictly positive real number.
+
+    Parameters
+    ----------
+    value:
+        The value to check.
+    name:
+        Parameter name used in the error message.
+    """
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is a real number >= 0."""
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a strictly positive integer."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def ensure_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return int(value)
+
+
+def ensure_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies inside ``[low, high]`` (or ``(low, high)``).
+
+    ``low`` / ``high`` may be ``None`` to leave the corresponding side
+    unbounded.
+    """
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return float(value)
+
+
+def ensure_power_of_two(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive power of two."""
+    value = ensure_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value!r}")
+    return value
+
+
+def ensure_divides(divisor: int, dividend: int, name: str) -> None:
+    """Raise :class:`ValueError` unless ``divisor`` divides ``dividend``."""
+    divisor = ensure_positive_int(divisor, f"{name} divisor")
+    dividend = ensure_positive_int(dividend, f"{name} dividend")
+    if dividend % divisor != 0:
+        raise ValueError(
+            f"{name}: {divisor} does not divide {dividend} evenly"
+        )

@@ -1,0 +1,39 @@
+"""Workload generators and the paper's parameter sweeps."""
+
+from repro.workloads.generators import (
+    random_binary_vector,
+    random_csr_matrix,
+    random_int_vector,
+    random_square_matrix,
+    transfer_size_sweep,
+)
+from repro.workloads.sweeps import (
+    MATRIX_MULTIPLICATION_SMALL,
+    MATRIX_MULTIPLICATION_SWEEP,
+    PAPER_SWEEPS,
+    REDUCTION_SMALL,
+    REDUCTION_SWEEP,
+    SMALL_SWEEPS,
+    Sweep,
+    VECTOR_ADDITION_SMALL,
+    VECTOR_ADDITION_SWEEP,
+    sweep_for,
+)
+
+__all__ = [
+    "random_binary_vector",
+    "random_csr_matrix",
+    "random_int_vector",
+    "random_square_matrix",
+    "transfer_size_sweep",
+    "MATRIX_MULTIPLICATION_SMALL",
+    "MATRIX_MULTIPLICATION_SWEEP",
+    "PAPER_SWEEPS",
+    "REDUCTION_SMALL",
+    "REDUCTION_SWEEP",
+    "SMALL_SWEEPS",
+    "Sweep",
+    "VECTOR_ADDITION_SMALL",
+    "VECTOR_ADDITION_SWEEP",
+    "sweep_for",
+]

@@ -1,0 +1,62 @@
+"""Seeded workload generators.
+
+The paper runs every kernel "on randomly generated data sets"; these helpers
+generate the same kinds of inputs reproducibly (NumPy ``default_rng`` with an
+explicit seed), so that every experiment and test in this repository is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import ensure_non_negative_int, ensure_positive_int
+
+
+def random_int_vector(n: int, seed: int = 0, low: int = 0, high: int = 1 << 20) -> np.ndarray:
+    """Random integer vector (the vector-addition inputs)."""
+    ensure_positive_int(n, "n")
+    if high <= low:
+        raise ValueError(f"high ({high}) must exceed low ({low})")
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, size=n, dtype=np.int64)
+
+
+def random_binary_vector(n: int, seed: int = 0) -> np.ndarray:
+    """Random 0/1 vector (the reduction inputs of Section IV-B)."""
+    ensure_positive_int(n, "n")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=n, dtype=np.int64)
+
+
+def random_square_matrix(n: int, seed: int = 0, low: int = 0, high: int = 64) -> np.ndarray:
+    """Random square integer matrix (the matrix-multiplication inputs)."""
+    ensure_positive_int(n, "n")
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, size=(n, n)).astype(np.float64)
+
+
+def random_csr_matrix(n: int, nnz_per_row: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Random CSR matrix with a fixed number of nonzeros per row."""
+    ensure_positive_int(n, "n")
+    ensure_positive_int(nnz_per_row, "nnz_per_row")
+    rng = np.random.default_rng(seed)
+    return {
+        "values": rng.normal(size=n * nnz_per_row),
+        "colidx": rng.integers(0, n, size=n * nnz_per_row).astype(np.int64),
+        "rowptr": np.arange(0, (n + 1) * nnz_per_row, nnz_per_row, dtype=np.int64),
+    }
+
+
+def transfer_size_sweep(min_words: int = 1 << 10, max_words: int = 1 << 24,
+                        points: int = 12, seed: int = 0) -> np.ndarray:
+    """Geometric sweep of transfer sizes for calibrating the Boyer model."""
+    ensure_positive_int(min_words, "min_words")
+    ensure_positive_int(max_words, "max_words")
+    ensure_positive_int(points, "points")
+    if max_words <= min_words:
+        raise ValueError("max_words must exceed min_words")
+    sizes = np.geomspace(min_words, max_words, points)
+    return np.unique(sizes.astype(np.int64))

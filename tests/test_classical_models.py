@@ -1,0 +1,176 @@
+"""Tests for the classical parallel-model substrate (PRAM, BSP, BSPRAM, PEM)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import (
+    AGPU_DESCRIPTION,
+    ATGPU_DESCRIPTION,
+    BSPMachine,
+    BSPRAM,
+    BSPRAMSuperstep,
+    ModelFeature,
+    PEMMachine,
+    PRAM,
+    PRAMStep,
+    PRAMVariant,
+    SWGPU_DESCRIPTION,
+    Superstep,
+    all_model_descriptions,
+    consistency_with_paper_table,
+    extended_feature_matrix,
+    gpu_suitability_ranking,
+    render_extended_table,
+)
+
+
+class TestPRAM:
+    def test_cost_counts_steps_and_work(self):
+        pram = PRAM(processors=4)
+        cost = pram.cost([PRAMStep(operations=2), PRAMStep(operations=3)])
+        assert cost.steps == 2
+        assert cost.work == 4 * 5
+        assert cost.span == 2
+
+    def test_erew_rejects_concurrent_reads(self):
+        pram = PRAM(processors=4, variant=PRAMVariant.EREW)
+        with pytest.raises(ValueError, match="read"):
+            pram.cost([PRAMStep(reads=(1, 1))])
+
+    def test_crew_allows_concurrent_reads_but_not_writes(self):
+        pram = PRAM(processors=4, variant=PRAMVariant.CREW)
+        pram.cost([PRAMStep(reads=(1, 1))])
+        with pytest.raises(ValueError, match="write"):
+            pram.cost([PRAMStep(writes=(2, 2))])
+
+    def test_crcw_allows_everything(self):
+        pram = PRAM(processors=4, variant=PRAMVariant.CRCW)
+        pram.cost([PRAMStep(reads=(1, 1), writes=(2, 2))])
+
+    def test_brent_bound(self):
+        pram = PRAM(processors=8)
+        assert pram.brent_time(work=80, span=3) == pytest.approx(13.0)
+
+    def test_reduction_span_is_logarithmic(self):
+        pram = PRAM(processors=8)
+        assert pram.reduction_span(1) == 0
+        assert pram.reduction_span(2) == 1
+        assert pram.reduction_span(1024) == 10
+
+    def test_description_misses_gpu_features(self):
+        assert not PRAM(4).supports(ModelFeature.MEMORY_HIERARCHY)
+        assert not PRAM(4).supports(ModelFeature.HOST_DEVICE_TRANSFER)
+
+
+class TestBSP:
+    def test_superstep_cost_formula(self):
+        bsp = BSPMachine(processors=4, g=2.0, L=50.0)
+        assert bsp.superstep_cost(Superstep(local_work=10, h_relation=5)) == 10 + 10 + 50
+
+    def test_cost_itemisation(self):
+        bsp = BSPMachine(processors=4, g=2.0, L=50.0)
+        cost = bsp.cost([Superstep(10, 5), Superstep(20, 0)])
+        assert cost.computation == 30
+        assert cost.communication == 10
+        assert cost.synchronisation == 100
+        assert cost.total == 140
+
+    def test_reduction_cost_scales_with_processors(self):
+        small = BSPMachine(processors=2, g=1.0, L=10.0).reduction_cost(1000)
+        large = BSPMachine(processors=16, g=1.0, L=10.0).reduction_cost(1000)
+        assert large.computation < small.computation
+
+    def test_broadcast_cost_positive(self):
+        bsp = BSPMachine(processors=4, g=1.5, L=20.0)
+        assert bsp.broadcast_cost(100).total > 0
+
+    @given(st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100))
+    def test_cost_monotone_in_work(self, w1, w2):
+        bsp = BSPMachine(processors=4, g=1.0, L=1.0)
+        low, high = sorted([w1, w2])
+        assert (bsp.superstep_cost(Superstep(high, 0))
+                >= bsp.superstep_cost(Superstep(low, 0)))
+
+
+class TestBSPRAM:
+    def test_cost_uses_shared_traffic(self):
+        machine = BSPRAM(processors=4, g=3.0, L=10.0)
+        step = BSPRAMSuperstep(local_work=5, shared_reads=4, shared_writes=2)
+        assert machine.superstep_cost(step) == 5 + 3 * 6 + 10
+
+    def test_private_footprint_validation(self):
+        machine = BSPRAM(processors=4, g=1.0, L=1.0, private_memory_words=100)
+        with pytest.raises(ValueError):
+            machine.validate_private_footprint(101)
+
+    def test_matrix_multiply_cost_grows_with_n(self):
+        machine = BSPRAM(processors=16, g=1.0, L=10.0, private_memory_words=1 << 22)
+        assert machine.matrix_multiply_cost(256).total > machine.matrix_multiply_cost(64).total
+
+    def test_description_includes_shared_memory(self):
+        assert BSPRAM(4, 1.0, 1.0).supports(ModelFeature.SHARED_MEMORY)
+
+
+class TestPEM:
+    def test_cache_must_hold_a_block(self):
+        with pytest.raises(ValueError):
+            PEMMachine(processors=4, cache_words=16, block_words=32)
+
+    def test_scan_io(self):
+        pem = PEMMachine(processors=4, cache_words=1024, block_words=32)
+        assert pem.scan_io(4096) == 32  # 128 blocks over 4 processors
+
+    def test_reduction_complexity_components(self):
+        pem = PEMMachine(processors=8, cache_words=1024, block_words=32)
+        complexity = pem.reduction_complexity(1 << 16)
+        assert complexity.parallel_io > 0
+        assert complexity.parallel_computation >= 1 << 13
+
+    def test_sort_io_exceeds_scan_io(self):
+        pem = PEMMachine(processors=4, cache_words=4096, block_words=32)
+        assert pem.sort_io(1 << 18) >= pem.scan_io(1 << 18)
+
+    def test_matrix_multiply_io_cubic_growth(self):
+        pem = PEMMachine(processors=4, cache_words=4096, block_words=32)
+        assert pem.matrix_multiply_io(512) > 7 * pem.matrix_multiply_io(256)
+
+    def test_block_transfers_feature(self):
+        pem = PEMMachine(4, 1024, 32)
+        assert pem.supports(ModelFeature.BLOCK_TRANSFERS)
+
+
+class TestFeatureMatrix:
+    def test_seven_models_described(self):
+        names = [d.name for d in all_model_descriptions()]
+        assert names == ["PRAM", "BSP", "BSPRAM", "PEM", "AGPU", "SWGPU", "ATGPU"]
+
+    def test_only_atgpu_has_data_transfer(self):
+        matrix = extended_feature_matrix()
+        row = matrix[ModelFeature.HOST_DEVICE_TRANSFER.value]
+        assert row["ATGPU"] is True
+        assert sum(row.values()) == 1
+
+    def test_extended_matrix_consistent_with_table1(self):
+        assert consistency_with_paper_table()
+
+    def test_atgpu_tops_suitability_ranking(self):
+        ranking = gpu_suitability_ranking()
+        assert ranking[0][0] == "ATGPU"
+        scores = dict(ranking)
+        assert scores["ATGPU"] > scores["SWGPU"]
+        assert scores["ATGPU"] > scores["AGPU"]
+        assert scores["AGPU"] > scores["PRAM"]
+
+    def test_gpu_models_have_lockstep_groups(self):
+        for description in (AGPU_DESCRIPTION, SWGPU_DESCRIPTION, ATGPU_DESCRIPTION):
+            assert description.supports(ModelFeature.LOCKSTEP_GROUPS)
+
+    def test_render_extended_table_subset(self):
+        text = render_extended_table(["ATGPU", "PRAM"])
+        assert "ATGPU" in text and "PRAM" in text and "BSP " not in text
+
+    def test_render_extended_table_unknown_model(self):
+        with pytest.raises(KeyError):
+            render_extended_table(["NOPE"])

@@ -1,0 +1,191 @@
+"""Unit tests for :mod:`repro.utils`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    average,
+    capture_fraction,
+    growth_rate_similarity,
+    mean_absolute_difference,
+    normalise_series,
+    relative_error,
+    transfer_proportion,
+)
+from repro.utils.units import (
+    BYTES_PER_WORD,
+    bytes_to_words,
+    cycles_to_seconds,
+    milliseconds_to_seconds,
+    seconds_to_cycles,
+    seconds_to_milliseconds,
+    words_to_bytes,
+)
+from repro.utils.validation import (
+    ensure_divides,
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_non_negative_int,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_power_of_two,
+)
+
+
+class TestValidation:
+    def test_ensure_positive_accepts_positive(self):
+        assert ensure_positive(3.5, "x") == 3.5
+
+    def test_ensure_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            ensure_positive(0.0, "x")
+
+    def test_ensure_positive_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_positive(True, "x")
+
+    def test_ensure_non_negative_accepts_zero(self):
+        assert ensure_non_negative(0, "x") == 0.0
+
+    def test_ensure_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_non_negative(-1e-9, "x")
+
+    def test_ensure_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_positive_int(2.0, "x")
+
+    def test_ensure_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ensure_positive_int(0, "x")
+
+    def test_ensure_non_negative_int_accepts_zero(self):
+        assert ensure_non_negative_int(0, "x") == 0
+
+    def test_ensure_in_range_inclusive(self):
+        assert ensure_in_range(1.0, "x", low=1.0, high=2.0) == 1.0
+
+    def test_ensure_in_range_exclusive_rejects_bound(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.0, "x", low=1.0, inclusive=False)
+
+    def test_ensure_in_range_rejects_above(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(3.0, "x", high=2.0)
+
+    def test_ensure_power_of_two(self):
+        assert ensure_power_of_two(64, "x") == 64
+
+    def test_ensure_power_of_two_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ensure_power_of_two(48, "x")
+
+    def test_ensure_divides(self):
+        ensure_divides(8, 64, "blocks")
+
+    def test_ensure_divides_rejects(self):
+        with pytest.raises(ValueError):
+            ensure_divides(7, 64, "blocks")
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_power_of_two_property(self, exponent):
+        assert ensure_power_of_two(1 << exponent, "x") == 1 << exponent
+
+
+class TestUnits:
+    def test_words_to_bytes_default_word(self):
+        assert words_to_bytes(10) == 10 * BYTES_PER_WORD
+
+    def test_bytes_to_words_roundtrip(self):
+        assert bytes_to_words(words_to_bytes(123)) == 123
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(1e9, 1e9) == 1.0
+
+    def test_seconds_to_cycles_roundtrip(self):
+        assert seconds_to_cycles(cycles_to_seconds(500, 2e6), 2e6) == pytest.approx(500)
+
+    def test_milliseconds_roundtrip(self):
+        assert milliseconds_to_seconds(seconds_to_milliseconds(0.25)) == pytest.approx(0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            words_to_bytes(-1)
+
+
+class TestStats:
+    def test_normalise_series_bounds(self):
+        out = normalise_series([3.0, 5.0, 9.0])
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_normalise_constant_series_is_zero(self):
+        assert np.allclose(normalise_series([2.0, 2.0, 2.0]), 0.0)
+
+    def test_normalise_rejects_nan(self):
+        with pytest.raises(ValueError):
+            normalise_series([1.0, float("nan")])
+
+    def test_normalise_rejects_2d(self):
+        with pytest.raises(ValueError):
+            normalise_series(np.ones((2, 2)))
+
+    def test_transfer_proportion(self):
+        assert transfer_proportion(25.0, 100.0) == 0.25
+
+    def test_transfer_proportion_rejects_exceeding(self):
+        with pytest.raises(ValueError):
+            transfer_proportion(2.0, 1.0)
+
+    def test_transfer_proportion_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            transfer_proportion(0.0, 0.0)
+
+    def test_capture_fraction_clips_to_one(self):
+        assert capture_fraction(5.0, 2.0) == 1.0
+
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            average([])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_observed(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_mean_absolute_difference(self):
+        assert mean_absolute_difference([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mean_absolute_difference_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_difference([1.0], [1.0, 2.0])
+
+    def test_growth_rate_similarity_identical_shapes(self):
+        a = [1.0, 2.0, 3.0]
+        b = [10.0, 20.0, 30.0]
+        assert growth_rate_similarity(a, b) == pytest.approx(1.0)
+
+    def test_growth_rate_similarity_detects_shape_difference(self):
+        linear = [1.0, 2.0, 3.0, 4.0]
+        flat = [1.0, 1.0, 1.0, 4.0]
+        assert growth_rate_similarity(linear, linear) > growth_rate_similarity(linear, flat)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_normalise_series_property(self, values):
+        out = normalise_series(values)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_transfer_proportion_in_unit_interval(self, transfer, extra):
+        total = transfer + extra
+        assert 0.0 <= transfer_proportion(transfer, total) <= 1.0
