@@ -9,6 +9,7 @@ Run with::
 
     python examples/paper_evaluation.py            # reduced sweeps (fast)
     python examples/paper_evaluation.py --paper    # the paper's exact sweeps
+    python examples/paper_evaluation.py --process  # batch over a process pool
 """
 
 from __future__ import annotations
@@ -16,8 +17,9 @@ from __future__ import annotations
 import sys
 
 from repro.experiments import (
-    ExperimentRunner,
+    Session,
     all_figures,
+    paper_specs,
     render_figures,
     render_summary,
     summary_statistics,
@@ -25,10 +27,11 @@ from repro.experiments import (
 )
 
 
-def main(scale: str = "small") -> None:
-    print(f"Running the Section IV evaluation at '{scale}' scale ...")
-    runner = ExperimentRunner(scale=scale)
-    comparisons = runner.run_paper_evaluation()
+def main(scale: str = "small", engine: str = "serial") -> None:
+    print(f"Running the Section IV evaluation at '{scale}' scale "
+          f"on the '{engine}' engine ...")
+    session = Session(engine=engine)
+    comparisons = session.run_many(paper_specs(scale=scale))
 
     print()
     print("Table I — comparison of GPU abstract models")
@@ -43,4 +46,7 @@ def main(scale: str = "small") -> None:
 
 
 if __name__ == "__main__":
-    main("paper" if "--paper" in sys.argv[1:] else "small")
+    main(
+        "paper" if "--paper" in sys.argv[1:] else "small",
+        "process" if "--process" in sys.argv[1:] else "serial",
+    )

@@ -4,7 +4,9 @@ This example walks through the full pipeline of the paper on one algorithm:
 
 1. look at the ATGPU pseudocode of vector addition,
 2. derive its model metrics and evaluate the cost functions (the prediction),
-3. run the same algorithm on the simulated GTX-650 (the observation),
+3. describe the experiment declaratively with an :class:`ExperimentSpec`
+   and execute it through a :class:`Session` (prediction + simulated
+   observation, cached by spec hash),
 4. compare the predicted and observed transfer proportions.
 
 Run with::
@@ -16,9 +18,7 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
-
-from repro import DeviceConfig, GPUDevice, VectorAddition
+from repro import ExperimentSpec, Session, VectorAddition
 from repro.core import GTX_650, format_report
 from repro.pseudocode import render_program
 
@@ -31,28 +31,36 @@ def main(n: int = 1_000_000) -> None:
     print("=" * 72)
     print(render_program(program))
 
-    # 2. Model-side analysis: metrics + both cost functions.
+    # 2. Model-side analysis: metrics + every cost-model backend.
     report = algorithm.analyse(n, GTX_650)
     print("=" * 72)
     print(format_report(report))
 
-    # 3. Observation: run the kernel on the simulated GTX 650.
-    device = GPUDevice(DeviceConfig.gtx650())
-    inputs = algorithm.generate_input(n, seed=0)
-    result = algorithm.run(device, inputs)
-    expected = algorithm.reference(inputs)["C"]
-    assert np.array_equal(result.outputs["C"], expected), "simulator result mismatch"
+    # 3. The same experiment, declaratively: one spec, one session.  The
+    #    session predicts per backend, runs the simulated GTX 650, and
+    #    caches the result under the spec's hash.
+    session = Session()
+    spec = ExperimentSpec(
+        "vector_addition", sizes=(n,), backends=("atgpu", "swgpu", "perfect"))
+    result = session.run(spec)
+    record = algorithm.observe(n, check=True)  # same run, NumPy-checked
+    assert record.correct, "simulator result mismatch"
     print("=" * 72)
-    print(f"Simulated run of {algorithm.name} with n = {n}:")
-    print(f"  total time    : {result.total_time_s * 1e3:8.3f} ms")
-    print(f"  kernel time   : {result.kernel_time_s * 1e3:8.3f} ms")
-    print(f"  transfer time : {result.transfer_time_s * 1e3:8.3f} ms")
+    print(f"Simulated run of {spec.algorithm} with n = {n}:")
+    print(f"  total time    : {result.observed_totals[0] * 1e3:8.3f} ms")
+    print(f"  kernel time   : {result.observed_kernels[0] * 1e3:8.3f} ms")
+    print(f"  transfer time : {result.observed_transfers[0] * 1e3:8.3f} ms")
     print(f"  result check  : OK (matches NumPy reference)")
+    session.run(spec)  # identical spec: served from the cache
+    print(f"  cache         : {session.cache_hits} hit(s) after a repeat run")
 
     # 4. The paper's headline comparison for this algorithm.
     print("=" * 72)
-    print(f"Observed transfer proportion  ΔE = {result.observed_transfer_proportion:.3f}")
-    print(f"Predicted transfer proportion ΔT = {report.predicted_transfer_proportion:.3f}")
+    summary = result.summary()
+    print(f"Observed transfer proportion  ΔE = "
+          f"{summary['average_observed_transfer_share']:.3f}")
+    print(f"Predicted transfer proportion ΔT = "
+          f"{summary['average_predicted_transfer_share']:.3f}")
     print("Data transfer dominates vector addition, and the ATGPU cost function")
     print("predicts that; a kernel-only model (SWGPU) misses most of the run time.")
 

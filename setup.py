@@ -1,13 +1,24 @@
-"""Setuptools shim so `pip install -e . --no-use-pep517` works offline.
+"""Setuptools configuration for the ATGPU reproduction.
 
 The environment this reproduction targets has no network access and no
 ``wheel`` package, so the PEP 517 editable-install path (which requires
-``bdist_wheel``) is unavailable.  Keeping a minimal ``setup.py`` lets
+``bdist_wheel``) is unavailable.  Keeping a classic ``setup.py`` lets
 ``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
-classic ``setup.py develop`` code path.  All project metadata lives in
-``pyproject.toml``.
+``setup.py develop`` code path while still declaring the package metadata
+CI and downstream consumers need.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-atgpu",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'An Improved Abstract GPU Model with Data Transfer' "
+        "(Carroll & Wong, ICPP Workshops 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

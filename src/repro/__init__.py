@@ -16,16 +16,30 @@ The package is organised as:
 * :mod:`repro.algorithms` -- the evaluated computational problems (vector
   addition, reduction, matrix multiplication) plus extension problems.
 * :mod:`repro.workloads` -- input generators and the paper's sweeps.
-* :mod:`repro.experiments` -- the harness that regenerates every figure and
+* :mod:`repro.experiments` -- the declarative experiment layer: specs,
+  sessions, results, and the harness that regenerates every figure and
   table of the evaluation section.
 
-Quick start::
+Quick start -- describe an experiment declaratively and run it through a
+session (results are cached by spec hash, batches can fan out over a
+process pool)::
 
-    from repro import VectorAddition, ExperimentRunner
+    from repro import ExperimentSpec, Session
 
-    runner = ExperimentRunner(scale="small")
-    comparison = runner.run_algorithm(VectorAddition())
-    print(comparison.summary())
+    session = Session()
+    result = session.run(ExperimentSpec("vector_addition", scale="small"))
+    print(result.summary())
+
+The full Section IV evaluation as one batch::
+
+    from repro import Session, paper_specs, summary_statistics
+
+    evaluation = Session(engine="process").run_many(paper_specs(scale="small"))
+    print(summary_statistics(evaluation))
+
+Cost-model backends (``atgpu``, ``swgpu``, ``perfect``, ``agpu``, plus any
+registered via :func:`repro.core.backends.register_backend`) are selected
+per spec: ``ExperimentSpec("reduction", backends=("atgpu", "perfect"))``.
 """
 
 from repro.algorithms import (
@@ -48,9 +62,22 @@ from repro.core import (
     OccupancyModel,
     SWGPUCostModel,
     analyse_metrics,
+    backend_names,
+    get_backend,
     get_preset,
+    register_backend,
 )
-from repro.experiments import ExperimentRunner, all_figures, summary_statistics, table1
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    Result,
+    ResultSet,
+    Session,
+    all_figures,
+    paper_specs,
+    summary_statistics,
+    table1,
+)
 from repro.simulator import DeviceConfig, GPUDevice
 
 __version__ = "1.0.0"
@@ -73,8 +100,16 @@ __all__ = [
     "OccupancyModel",
     "SWGPUCostModel",
     "analyse_metrics",
+    "backend_names",
+    "get_backend",
     "get_preset",
+    "register_backend",
     "ExperimentRunner",
+    "ExperimentSpec",
+    "Result",
+    "ResultSet",
+    "Session",
+    "paper_specs",
     "all_figures",
     "summary_statistics",
     "table1",

@@ -106,8 +106,17 @@ class GPUAlgorithm(abc.ABC):
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         """The algorithm's ATGPU pseudocode listing at size ``n``."""
 
-    def analyse(self, n: int, preset: GPUPreset = DEFAULT_PRESET) -> AnalysisReport:
-        """Predict the algorithm's cost at size ``n`` on a GPU preset."""
+    def analyse(
+        self,
+        n: int,
+        preset: GPUPreset = DEFAULT_PRESET,
+        backends: Optional[Sequence[str]] = None,
+    ) -> AnalysisReport:
+        """Predict the algorithm's cost at size ``n`` on a GPU preset.
+
+        ``backends`` selects the cost-model backends to evaluate (see
+        :mod:`repro.core.backends`); the default is the built-in trio.
+        """
         return analyse_metrics(
             self.metrics(n, preset.machine),
             preset.machine,
@@ -115,14 +124,16 @@ class GPUAlgorithm(abc.ABC):
             preset.occupancy,
             algorithm=self.name,
             input_size=n,
+            backends=backends,
         )
 
     def predict_sweep(
         self,
         sizes: Optional[Sequence[int]] = None,
         preset: GPUPreset = DEFAULT_PRESET,
+        backends: Optional[Sequence[str]] = None,
     ) -> SweepPrediction:
-        """ATGPU / SWGPU predictions over a sweep of input sizes."""
+        """Per-backend cost predictions over a sweep of input sizes."""
         sizes = list(sizes) if sizes is not None else self.default_sizes()
         return predict_sweep(
             algorithm=self.name,
@@ -131,6 +142,7 @@ class GPUAlgorithm(abc.ABC):
             machine=preset.machine,
             parameters=preset.parameters,
             occupancy=preset.occupancy,
+            backends=backends,
         )
 
     # ------------------------------------------------------------------ #

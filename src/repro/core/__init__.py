@@ -9,6 +9,18 @@ parameters from observed timings.
 """
 
 from repro.core.analysis import AnalysisReport, analyse_metrics, format_report
+from repro.core.backends import (
+    CostModel,
+    DEFAULT_BACKENDS,
+    FunctionBackend,
+    backend_label,
+    backend_names,
+    evaluate_backends,
+    get_backend,
+    make_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.core.calibration import (
     CalibrationResult,
     TransferCalibrationResult,
@@ -55,6 +67,7 @@ from repro.core.presets import (
     TESLA_K40,
     get_preset,
     preset_names,
+    register_preset,
 )
 from repro.core.transfer import (
     BoyerTransferModel,
@@ -67,6 +80,16 @@ __all__ = [
     "AnalysisReport",
     "analyse_metrics",
     "format_report",
+    "CostModel",
+    "DEFAULT_BACKENDS",
+    "FunctionBackend",
+    "backend_label",
+    "backend_names",
+    "evaluate_backends",
+    "get_backend",
+    "make_backend",
+    "register_backend",
+    "unregister_backend",
     "CalibrationResult",
     "TransferCalibrationResult",
     "calibrate_cost_parameters",
@@ -105,6 +128,7 @@ __all__ = [
     "TESLA_K40",
     "get_preset",
     "preset_names",
+    "register_preset",
     "BoyerTransferModel",
     "TransferDirection",
     "TransferEvent",

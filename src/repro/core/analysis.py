@@ -9,9 +9,10 @@ and 2), the SWGPU comparison cost, and the predicted transfer proportion
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
+from repro.core.backends import DEFAULT_BACKENDS, get_backend
 from repro.core.comparison import SWGPUCostModel
 from repro.core.cost import ATGPUCostModel, CostBreakdown, CostParameters
 from repro.core.machine import ATGPUMachine
@@ -30,6 +31,10 @@ class AnalysisReport:
     perfect_breakdown: CostBreakdown
     gpu_breakdown: CostBreakdown
     swgpu_cost: float
+    #: Scalar cost per evaluated cost-model backend (at least the built-in
+    #: ``atgpu`` / ``swgpu`` / ``perfect`` trio when built by
+    #: :func:`analyse_metrics`).
+    backend_costs: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Convenience accessors
@@ -69,6 +74,28 @@ class AnalysisReport:
         """``ΔT`` of Figure 6."""
         return self.gpu_breakdown.transfer_proportion
 
+    def backend_cost(self, name: str) -> float:
+        """Scalar cost of this run under a named cost-model backend.
+
+        Costs recorded at analysis time are returned directly; the built-in
+        ``atgpu`` / ``swgpu`` / ``perfect`` backends always resolve from the
+        stored breakdowns even when not explicitly requested.
+        """
+        if name in self.backend_costs:
+            return self.backend_costs[name]
+        builtin = {
+            "atgpu": self.gpu_cost,
+            "swgpu": self.swgpu_cost,
+            "perfect": self.perfect_cost,
+        }
+        if name in builtin:
+            return builtin[name]
+        known = ", ".join(sorted({*self.backend_costs, *builtin}))
+        raise KeyError(
+            f"report for {self.algorithm!r} has no cost for backend {name!r}; "
+            f"available backends: {known}"
+        )
+
     def as_dict(self) -> Dict[str, float]:
         """Flatten the headline numbers for tabular output / serialisation."""
         return {
@@ -97,18 +124,33 @@ def analyse_metrics(
     occupancy: OccupancyModel,
     algorithm: str = "",
     input_size: int = 0,
+    backends: Optional[Sequence[str]] = None,
 ) -> AnalysisReport:
     """Build an :class:`AnalysisReport` for pre-computed metrics.
 
     This is the workhorse behind :meth:`repro.algorithms.base.GPUAlgorithm.analyse`
-    and the experiment runner.  It validates the metrics against the machine
+    and the experiment session.  It validates the metrics against the machine
     (raising :class:`repro.core.metrics.CapacityError` if the algorithm does
-    not fit) and evaluates the ATGPU and SWGPU cost functions.
+    not fit) and evaluates every requested cost-model backend.  ``backends``
+    defaults to the built-in trio (:data:`repro.core.backends.DEFAULT_BACKENDS`);
+    the breakdown-based ``atgpu`` / ``swgpu`` / ``perfect`` costs are always
+    computed, so extra names only add work for genuinely new backends.
     """
     atgpu = ATGPUCostModel(machine, parameters, occupancy)
     swgpu = SWGPUCostModel(machine, parameters, occupancy)
     perfect = atgpu.breakdown(metrics, use_occupancy=False)
     gpu = atgpu.breakdown(metrics, use_occupancy=True)
+    swgpu_cost = swgpu.gpu_cost(metrics)
+    backend_costs = {
+        "atgpu": gpu.total,
+        "swgpu": swgpu_cost,
+        "perfect": perfect.total,
+    }
+    for name in backends if backends is not None else DEFAULT_BACKENDS:
+        if name not in backend_costs:
+            backend_costs[name] = get_backend(name).cost(
+                metrics, machine, parameters, occupancy
+            )
     return AnalysisReport(
         algorithm=algorithm or metrics.name,
         input_size=input_size,
@@ -116,7 +158,8 @@ def analyse_metrics(
         metrics=metrics,
         perfect_breakdown=perfect,
         gpu_breakdown=gpu,
-        swgpu_cost=swgpu.gpu_cost(metrics),
+        swgpu_cost=swgpu_cost,
+        backend_costs=backend_costs,
     )
 
 

@@ -1,0 +1,203 @@
+"""Pluggable cost-model backends and the backend registry.
+
+The paper's evaluation compares exactly two curves — the ATGPU GPU-cost
+(Expression 2) and the kernel-only SWGPU cost — but the machinery that
+produces them is generic: every model variant maps the per-round metrics of
+an algorithm to a scalar cost on a machine.  This module names that mapping
+(the :class:`CostModel` protocol) and keeps a registry of implementations so
+that analysis, sweep prediction and experiment sessions can compute
+*per-backend* cost series without special-casing any particular pair of
+curves.
+
+Built-in backends (registered on import):
+
+=========  =============================================================
+``atgpu``    the GPU-cost of Expression (2) — the paper's headline curve
+``swgpu``    the same expression with the transfer terms removed
+             (``α = β = 0``), i.e. the kernel-only comparison cost
+``perfect``  the perfect-GPU cost of Expression (1) (no occupancy term)
+``agpu``     the AGPU asymptotic time view: AGPU has no cost function, so
+             this backend reports the raw device-step count from which
+             AGPU's time complexity is read (unit-less)
+=========  =============================================================
+
+New backends register through :func:`register_backend`; a convenient way to
+build one is :func:`make_backend` with any callable of signature
+``(metrics, machine, parameters, occupancy) -> float``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.core.comparison import AGPUAnalysis, SWGPUCostModel
+from repro.core.cost import ATGPUCostModel, CostParameters
+from repro.core.machine import ATGPUMachine
+from repro.core.metrics import AlgorithmMetrics
+from repro.core.occupancy import OccupancyModel
+
+#: Signature of a backend's evaluation function.
+CostFunction = Callable[
+    [AlgorithmMetrics, ATGPUMachine, CostParameters, Optional[OccupancyModel]],
+    float,
+]
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """What analysis and sessions require of a cost-model backend.
+
+    A backend has a registry ``name``, a display ``label`` (used as the
+    curve key in normalised figures) and a :meth:`cost` that evaluates one
+    algorithm's metrics on one machine.
+    """
+
+    name: str
+    label: str
+
+    def cost(
+        self,
+        metrics: AlgorithmMetrics,
+        machine: ATGPUMachine,
+        parameters: CostParameters,
+        occupancy: Optional[OccupancyModel] = None,
+    ) -> float:
+        """Scalar cost of ``metrics`` under this model."""
+        ...
+
+
+@dataclass(frozen=True)
+class FunctionBackend:
+    """A :class:`CostModel` wrapping a plain evaluation function."""
+
+    name: str
+    label: str
+    evaluate: CostFunction = field(repr=False)
+    description: str = ""
+
+    def cost(
+        self,
+        metrics: AlgorithmMetrics,
+        machine: ATGPUMachine,
+        parameters: CostParameters,
+        occupancy: Optional[OccupancyModel] = None,
+    ) -> float:
+        return float(self.evaluate(metrics, machine, parameters, occupancy))
+
+
+def make_backend(
+    name: str, label: str, evaluate: CostFunction, description: str = ""
+) -> FunctionBackend:
+    """Build a backend from an evaluation function (does not register it)."""
+    if not name:
+        raise ValueError("a cost-model backend needs a non-empty name")
+    return FunctionBackend(
+        name=name, label=label or name, evaluate=evaluate, description=description
+    )
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+_REGISTRY: Dict[str, CostModel] = {}
+
+
+def register_backend(backend: CostModel, overwrite: bool = False) -> CostModel:
+    """Register a backend under its :attr:`~CostModel.name`.
+
+    Registering a second backend under an existing name raises
+    :class:`ValueError` unless ``overwrite=True``.
+    """
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"a cost-model backend named {backend.name!r} is already "
+            "registered; pass overwrite=True to replace it"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> CostModel:
+    """Look up a registered backend by name.
+
+    Raises :class:`KeyError` listing the registered names when unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown cost-model backend {name!r}; registered backends: {known}"
+        ) from exc
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_label(name: str) -> str:
+    """Display label for a backend name (the name itself when unregistered)."""
+    backend = _REGISTRY.get(name)
+    return backend.label if backend is not None else name
+
+
+def evaluate_backends(
+    names: Sequence[str],
+    metrics: AlgorithmMetrics,
+    machine: ATGPUMachine,
+    parameters: CostParameters,
+    occupancy: Optional[OccupancyModel] = None,
+) -> Dict[str, float]:
+    """Evaluate several backends on the same metrics, keyed by name."""
+    return {
+        name: get_backend(name).cost(metrics, machine, parameters, occupancy)
+        for name in names
+    }
+
+
+# --------------------------------------------------------------------- #
+# Built-in backends
+# --------------------------------------------------------------------- #
+def _atgpu_cost(metrics, machine, parameters, occupancy) -> float:
+    return ATGPUCostModel(machine, parameters, occupancy).gpu_cost(metrics)
+
+
+def _swgpu_cost(metrics, machine, parameters, occupancy) -> float:
+    return SWGPUCostModel(machine, parameters, occupancy).gpu_cost(metrics)
+
+
+def _perfect_cost(metrics, machine, parameters, occupancy) -> float:
+    return ATGPUCostModel(machine, parameters, occupancy).perfect_cost(metrics)
+
+
+def _agpu_time(metrics, machine, parameters, occupancy) -> float:
+    return AGPUAnalysis.from_metrics(metrics).time
+
+
+ATGPU_BACKEND = register_backend(make_backend(
+    "atgpu", "ATGPU", _atgpu_cost,
+    "GPU-cost of Expression (2): transfer + occupancy-scaled kernel cost",
+))
+SWGPU_BACKEND = register_backend(make_backend(
+    "swgpu", "SWGPU", _swgpu_cost,
+    "Expression (2) with the transfer terms removed (α = β = 0)",
+))
+PERFECT_BACKEND = register_backend(make_backend(
+    "perfect", "Perfect", _perfect_cost,
+    "perfect-GPU cost of Expression (1): every thread block runs at once",
+))
+AGPU_BACKEND = register_backend(make_backend(
+    "agpu", "AGPU", _agpu_time,
+    "AGPU asymptotic time view (unit-less device steps; AGPU has no cost "
+    "function)",
+))
+
+#: The backends evaluated by default throughout the package.
+DEFAULT_BACKENDS: Tuple[str, ...] = ("atgpu", "swgpu", "perfect")

@@ -1,26 +1,29 @@
 """Sweep-level prediction and prediction-vs-observation comparison.
 
 The paper's evaluation (Section IV) always works over a *sweep* of input
-sizes: for each size it computes the ATGPU GPU-cost and the SWGPU cost
-(prediction side) and measures the total and kernel-only running times
-(observation side), then compares growth shapes on a normalised scale and
-compares the transfer proportions ``ΔT`` (predicted) and ``ΔE`` (observed).
+sizes: for each size it computes the cost of every model backend under
+comparison (prediction side) and measures the total and kernel-only running
+times (observation side), then compares growth shapes on a normalised scale
+and compares the transfer proportions ``ΔT`` (predicted) and ``ΔE``
+(observed).
 
-:class:`SweepPrediction` holds the prediction side, :class:`SweepObservation`
-holds the observation side, and :class:`PredictionComparison` computes every
+:class:`SweepPrediction` holds the prediction side as one cost series per
+registered backend (see :mod:`repro.core.backends`); :class:`SweepObservation`
+holds the observation side; :class:`PredictionComparison` computes every
 derived statistic the paper reports (normalised curves, Figure 6 series,
-average transfer shares, Δ accuracy, and the SWGPU/ATGPU "capture"
-fractions of Section IV-D).
+average transfer shares, Δ accuracy, per-backend growth-shape scores, and
+the SWGPU "capture" fraction of Section IV-D).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.analysis import AnalysisReport, analyse_metrics
+from repro.core.backends import DEFAULT_BACKENDS, backend_label
 from repro.core.cost import CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
@@ -34,20 +37,97 @@ from repro.utils.stats import (
 
 MetricsFactory = Callable[[int], AlgorithmMetrics]
 
+#: Shared error message for proportions over non-positive observed totals.
+POSITIVE_TOTALS_MESSAGE = (
+    "all observed total times must be positive to form transfer/capture "
+    "proportions"
+)
+
+
+def require_positive_totals(totals: Sequence[float]) -> np.ndarray:
+    """Validate observed totals before dividing by them.
+
+    Both the observed transfer proportion ``ΔE`` and the SWGPU capture
+    fraction divide by the observed totals; this shared guard gives them one
+    consistent error message.
+    """
+    array = np.asarray(totals, dtype=float)
+    if array.size == 0 or np.any(array <= 0):
+        raise ValueError(POSITIVE_TOTALS_MESSAGE)
+    return array
+
 
 @dataclass
 class SweepPrediction:
-    """Model predictions across a sweep of input sizes."""
+    """Model predictions across a sweep of input sizes.
+
+    A prediction carries one cost series per backend name plus the predicted
+    transfer proportions ``ΔT``.  It is normally built by
+    :func:`predict_sweep` (which also attaches the per-size
+    :class:`~repro.core.analysis.AnalysisReport` objects), but can equally be
+    reconstructed from stored series alone — e.g. when a cached
+    :class:`~repro.experiments.results.Result` is loaded from disk — in which
+    case the report-only accessors raise a clear error.
+    """
 
     algorithm: str
     sizes: List[int]
-    reports: List[AnalysisReport]
+    reports: List[AnalysisReport] = field(default_factory=list)
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    proportions: Optional[Sequence[float]] = None
 
     def __post_init__(self) -> None:
-        if len(self.sizes) != len(self.reports):
-            raise ValueError("sizes and reports must have the same length")
         if not self.sizes:
             raise ValueError("a sweep needs at least one input size")
+        if self.reports and len(self.sizes) != len(self.reports):
+            raise ValueError("sizes and reports must have the same length")
+        if not self.reports and not self.series:
+            raise ValueError(
+                "a prediction needs analysis reports or precomputed series"
+            )
+        for name, values in self.series.items():
+            if len(values) != len(self.sizes):
+                raise ValueError(
+                    f"series for backend {name!r} has {len(values)} points "
+                    f"but the sweep has {len(self.sizes)}"
+                )
+        if self.proportions is not None and len(self.proportions) != len(self.sizes):
+            raise ValueError("proportions must align with the sweep sizes")
+
+    # ------------------------------------------------------------------ #
+    # Generic per-backend access
+    # ------------------------------------------------------------------ #
+    def backend_names(self) -> Tuple[str, ...]:
+        """Backends this prediction can produce a cost series for."""
+        names = list(self.series)
+        if self.reports:
+            for name in ("atgpu", "swgpu", "perfect"):
+                if name not in names:
+                    names.append(name)
+            for name in self.reports[0].backend_costs:
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def series_for(self, backend: str) -> np.ndarray:
+        """Cost per size under a named backend."""
+        if backend in self.series:
+            return np.asarray(self.series[backend], dtype=float)
+        if self.reports:
+            return np.array(
+                [r.backend_cost(backend) for r in self.reports], dtype=float
+            )
+        known = ", ".join(self.backend_names())
+        raise KeyError(
+            f"no cost series for backend {backend!r}; available: {known}"
+        )
+
+    def _require_reports(self, what: str) -> None:
+        if not self.reports:
+            raise ValueError(
+                f"{what} requires per-size analysis reports; this prediction "
+                "only carries precomputed backend series"
+            )
 
     # ------------------------------------------------------------------ #
     # Series accessors (the curves of Figures 3a/4a/5a and 6)
@@ -55,40 +135,51 @@ class SweepPrediction:
     @property
     def atgpu_costs(self) -> np.ndarray:
         """ATGPU GPU-cost per size (the "ATGPU" curve)."""
-        return np.array([r.gpu_cost for r in self.reports], dtype=float)
+        return self.series_for("atgpu")
 
     @property
     def swgpu_costs(self) -> np.ndarray:
         """SWGPU cost per size (the "SWGPU" curve)."""
-        return np.array([r.swgpu_cost for r in self.reports], dtype=float)
+        return self.series_for("swgpu")
 
     @property
     def perfect_costs(self) -> np.ndarray:
         """Expression (1) cost per size."""
-        return np.array([r.perfect_cost for r in self.reports], dtype=float)
+        return self.series_for("perfect")
 
     @property
     def transfer_costs(self) -> np.ndarray:
         """Predicted transfer cost per size."""
+        self._require_reports("transfer_costs")
         return np.array([r.transfer_cost for r in self.reports], dtype=float)
 
     @property
     def kernel_costs(self) -> np.ndarray:
         """Predicted kernel-side cost per size."""
+        self._require_reports("kernel_costs")
         return np.array([r.kernel_cost for r in self.reports], dtype=float)
 
     @property
     def predicted_transfer_proportions(self) -> np.ndarray:
         """``ΔT`` per size (the "Predicted" curve of Figure 6)."""
+        if self.proportions is not None:
+            return np.asarray(self.proportions, dtype=float)
+        self._require_reports("predicted_transfer_proportions")
         return np.array(
             [r.predicted_transfer_proportion for r in self.reports], dtype=float
         )
 
-    def normalised(self) -> Dict[str, np.ndarray]:
-        """Normalised ATGPU and SWGPU curves (Figures 3c / 4c)."""
+    def normalised(self, backends: Optional[Sequence[str]] = None
+                   ) -> Dict[str, np.ndarray]:
+        """Normalised cost curves keyed by backend label (Figures 3c / 4c).
+
+        Defaults to the paper's pair (``atgpu`` and ``swgpu``, labelled
+        "ATGPU" / "SWGPU"); pass explicit backend names for other curves.
+        """
+        names = tuple(backends) if backends is not None else ("atgpu", "swgpu")
         return {
-            "ATGPU": normalise_series(self.atgpu_costs),
-            "SWGPU": normalise_series(self.swgpu_costs),
+            backend_label(name): normalise_series(self.series_for(name))
+            for name in names
         }
 
 
@@ -143,9 +234,7 @@ class SweepObservation:
     @property
     def observed_transfer_proportions(self) -> np.ndarray:
         """``ΔE`` per size (the "Observed" curve of Figure 6)."""
-        totals = self.totals
-        if np.any(totals <= 0):
-            raise ValueError("all observed total times must be positive")
+        totals = require_positive_totals(self.totals)
         return self.transfers / totals
 
     def normalised(self) -> Dict[str, np.ndarray]:
@@ -163,10 +252,15 @@ def predict_sweep(
     machine: ATGPUMachine,
     parameters: CostParameters,
     occupancy: OccupancyModel,
+    backends: Optional[Sequence[str]] = None,
 ) -> SweepPrediction:
-    """Evaluate the ATGPU/SWGPU cost functions over a sweep of sizes."""
+    """Evaluate the requested cost-model backends over a sweep of sizes.
+
+    ``backends`` defaults to :data:`repro.core.backends.DEFAULT_BACKENDS`.
+    """
     if not sizes:
         raise ValueError("sizes must not be empty")
+    names = tuple(backends) if backends is not None else DEFAULT_BACKENDS
     reports = [
         analyse_metrics(
             metrics_factory(int(n)),
@@ -175,11 +269,20 @@ def predict_sweep(
             occupancy,
             algorithm=algorithm,
             input_size=int(n),
+            backends=names,
         )
         for n in sizes
     ]
-    return SweepPrediction(algorithm=algorithm, sizes=[int(n) for n in sizes],
-                           reports=reports)
+    series = {
+        name: np.array([r.backend_cost(name) for r in reports], dtype=float)
+        for name in names
+    }
+    return SweepPrediction(
+        algorithm=algorithm,
+        sizes=[int(n) for n in sizes],
+        reports=reports,
+        series=series,
+    )
 
 
 @dataclass
@@ -188,9 +291,9 @@ class PredictionComparison:
 
     Provides every statistic of Section IV: the normalised four-curve plot,
     the Figure 6 Δ curves, the average observed/predicted transfer shares,
-    the mean |ΔT - ΔE| accuracy, the SWGPU and ATGPU growth-shape tracking
-    scores, and the "capture fraction" (share of the observed total running
-    time that the kernel-only view accounts for).
+    the mean |ΔT - ΔE| accuracy, per-backend growth-shape tracking scores,
+    and the "capture fraction" (share of the observed total running time
+    that the kernel-only view accounts for).
     """
 
     prediction: SweepPrediction
@@ -247,23 +350,29 @@ class PredictionComparison:
         component SWGPU models (the kernel) is on average that fraction of
         the observed total running time.
         """
-        totals = self.observation.totals
-        kernels = self.observation.kernels
-        if np.any(totals <= 0):
-            raise ValueError("all observed total times must be positive")
-        return float(np.mean(kernels / totals))
+        totals = require_positive_totals(self.observation.totals)
+        return float(np.mean(self.observation.kernels / totals))
+
+    def shape_score(self, backend: str) -> float:
+        """Growth-shape similarity between one backend's cost and the total."""
+        return growth_rate_similarity(
+            self.prediction.series_for(backend), self.observation.totals
+        )
+
+    def shape_scores(self, backends: Optional[Sequence[str]] = None
+                     ) -> Dict[str, float]:
+        """Shape scores for several backends, keyed by backend name."""
+        names = tuple(backends) if backends is not None \
+            else self.prediction.backend_names()
+        return {name: self.shape_score(name) for name in names}
 
     def atgpu_shape_score(self) -> float:
         """Growth-shape similarity between the ATGPU cost and the total time."""
-        return growth_rate_similarity(
-            self.prediction.atgpu_costs, self.observation.totals
-        )
+        return self.shape_score("atgpu")
 
     def swgpu_shape_score(self) -> float:
         """Growth-shape similarity between the SWGPU cost and the total time."""
-        return growth_rate_similarity(
-            self.prediction.swgpu_costs, self.observation.totals
-        )
+        return self.shape_score("swgpu")
 
     def atgpu_tracks_total_better(self) -> bool:
         """The paper's headline claim, per algorithm.

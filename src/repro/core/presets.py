@@ -174,6 +174,25 @@ PRESETS: Dict[str, GPUPreset] = {
 DEFAULT_PRESET = GTX_650
 
 
+def register_preset(preset: GPUPreset, overwrite: bool = False) -> GPUPreset:
+    """Register a preset so specs and sessions can refer to it by name.
+
+    The registry key is the lowercased name, matching :func:`get_preset`'s
+    case-insensitive lookup.  Re-registering an identical preset is a no-op;
+    registering a *different* preset under an existing name raises
+    :class:`ValueError` unless ``overwrite=True``.
+    """
+    key = preset.name.lower()
+    existing = PRESETS.get(key)
+    if existing is not None and existing != preset and not overwrite:
+        raise ValueError(
+            f"a different GPU preset is already registered as {preset.name!r}; "
+            "rename the preset or pass overwrite=True"
+        )
+    PRESETS[key] = preset
+    return preset
+
+
 def get_preset(name: str) -> GPUPreset:
     """Look up a preset by name; raises :class:`KeyError` with suggestions."""
     key = name.lower()

@@ -1,4 +1,9 @@
-"""The figure/table regeneration harness for the paper's evaluation."""
+"""The experiment layer: declarative specs, sessions, figures and tables.
+
+The modern entry point is the :class:`Session` façade executing
+:class:`ExperimentSpec` objects into :class:`Result` / :class:`ResultSet`
+objects; :class:`ExperimentRunner` remains as a deprecation shim over it.
+"""
 
 from repro.experiments.figures import (
     FigureSeries,
@@ -13,7 +18,23 @@ from repro.experiments.report import (
     render_figure,
     render_figures,
 )
+from repro.experiments.results import (
+    Result,
+    ResultSet,
+    as_comparison,
+    as_comparisons,
+)
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.session import (
+    ENGINES,
+    ExecutionEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+    Session,
+    execute_spec,
+    resolve_engine,
+)
+from repro.experiments.spec import ExperimentSpec, paper_specs
 from repro.experiments.tables import (
     AlgorithmSummary,
     PAPER_REPORTED,
@@ -33,7 +54,20 @@ __all__ = [
     "render_comparison_summary",
     "render_figure",
     "render_figures",
+    "Result",
+    "ResultSet",
+    "as_comparison",
+    "as_comparisons",
     "ExperimentRunner",
+    "ENGINES",
+    "ExecutionEngine",
+    "ProcessPoolEngine",
+    "SerialEngine",
+    "Session",
+    "execute_spec",
+    "resolve_engine",
+    "ExperimentSpec",
+    "paper_specs",
     "AlgorithmSummary",
     "PAPER_REPORTED",
     "render_summary",

@@ -14,6 +14,12 @@ Figure 5     matrix multiplication: (a) predicted, (b) observed
 Figure 6     transfer proportions Δ (observed ΔE vs predicted ΔT) for
              (a) vector addition, (b) reduction, (c) matrix multiplication
 ===========  ==========================================================
+
+Every ``figure*`` builder accepts either the classic
+:class:`~repro.core.prediction.PredictionComparison` objects or the
+:class:`~repro.experiments.results.Result` /
+:class:`~repro.experiments.results.ResultSet` objects produced by a
+:class:`~repro.experiments.session.Session`.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.core.prediction import PredictionComparison
+from repro.experiments.results import as_comparison, as_comparisons
 
 
 @dataclass
@@ -119,8 +126,9 @@ def _delta(comparison: PredictionComparison, figure: str, title: str,
 # --------------------------------------------------------------------- #
 # Figures 3-6
 # --------------------------------------------------------------------- #
-def figure3(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
+def figure3(comparison) -> Dict[str, FigureSeries]:
     """Figure 3 (vector addition): predicted, observed and normalised series."""
+    comparison = as_comparison(comparison)
     x = "n"
     return {
         "3a": _predicted(comparison, "Figure 3a", "Vector addition: predicted results", x),
@@ -129,8 +137,9 @@ def figure3(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
     }
 
 
-def figure4(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
+def figure4(comparison) -> Dict[str, FigureSeries]:
     """Figure 4 (reduction): predicted, observed and normalised series."""
+    comparison = as_comparison(comparison)
     x = "n"
     return {
         "4a": _predicted(comparison, "Figure 4a", "Reduction: predicted results", x),
@@ -139,8 +148,9 @@ def figure4(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
     }
 
 
-def figure5(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
+def figure5(comparison) -> Dict[str, FigureSeries]:
     """Figure 5 (matrix multiplication): predicted and observed series."""
+    comparison = as_comparison(comparison)
     x = "n"
     return {
         "5a": _predicted(comparison, "Figure 5a",
@@ -150,12 +160,14 @@ def figure5(comparison: PredictionComparison) -> Dict[str, FigureSeries]:
     }
 
 
-def figure6(comparisons: Dict[str, PredictionComparison]) -> Dict[str, FigureSeries]:
+def figure6(comparisons) -> Dict[str, FigureSeries]:
     """Figure 6: transfer proportions Δ for the three paper algorithms.
 
     ``comparisons`` maps the registry names (``vector_addition``,
-    ``reduction``, ``matrix_multiplication``) to their comparison objects.
+    ``reduction``, ``matrix_multiplication``) to their comparison (or
+    result) objects, or is a :class:`ResultSet` covering them.
     """
+    comparisons = as_comparisons(comparisons)
     labels = {
         "vector_addition": ("6a", "Vector addition"),
         "reduction": ("6b", "Reduction"),
@@ -170,9 +182,12 @@ def figure6(comparisons: Dict[str, PredictionComparison]) -> Dict[str, FigureSer
     return out
 
 
-def all_figures(comparisons: Dict[str, PredictionComparison]
-                ) -> Dict[str, FigureSeries]:
-    """Every subfigure of the evaluation, keyed ``3a`` ... ``6c``."""
+def all_figures(comparisons) -> Dict[str, FigureSeries]:
+    """Every subfigure of the evaluation, keyed ``3a`` ... ``6c``.
+
+    Accepts a ``{name: comparison}`` mapping or a :class:`ResultSet`.
+    """
+    comparisons = as_comparisons(comparisons)
     out: Dict[str, FigureSeries] = {}
     out.update(figure3(comparisons["vector_addition"]))
     out.update(figure4(comparisons["reduction"]))

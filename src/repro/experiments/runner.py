@@ -1,30 +1,46 @@
-"""The experiment runner: prediction vs observation for one algorithm sweep.
+"""Legacy experiment runner — a deprecation shim over :class:`Session`.
 
 One "experiment" in the sense of Section IV is: pick an algorithm and a
-sweep of input sizes; for every size evaluate the ATGPU GPU-cost and the
-SWGPU cost (prediction) and run the algorithm on the simulated GPU measuring
-total / kernel / transfer time (observation); then compare.  The runner
-packages that loop and returns the
-:class:`~repro.core.prediction.PredictionComparison` from which every figure
-and summary statistic of the paper is derived.
+sweep of input sizes; for every size evaluate each cost-model backend
+(prediction) and run the algorithm on the simulated GPU measuring total /
+kernel / transfer time (observation); then compare.  That loop now lives in
+:mod:`repro.experiments.session`; :class:`ExperimentRunner` remains as a
+thin adapter so existing call sites keep working, translating its mutable
+fields into frozen :class:`~repro.experiments.spec.ExperimentSpec` objects
+on every call.
+
+Because the cache key is now the full spec hash (algorithm, sizes, scale,
+preset, device configuration, seed and backends), mutating a runner field
+after construction correctly misses the cache instead of silently returning
+a stale comparison — the legacy runner keyed only on name, scale and sizes.
+
+New code should use :class:`~repro.experiments.session.Session` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms.base import GPUAlgorithm
 from repro.algorithms.registry import create, paper_algorithm_names
 from repro.core.prediction import PredictionComparison
-from repro.core.presets import DEFAULT_PRESET, GPUPreset
+from repro.core.presets import DEFAULT_PRESET, GPUPreset, PRESETS, register_preset
+from repro.experiments.session import Session
+from repro.experiments.spec import ExperimentSpec
 from repro.simulator.config import DeviceConfig
-from repro.workloads.sweeps import sweep_for
 
 
 @dataclass
 class ExperimentRunner:
     """Runs prediction-vs-observation experiments on one GPU configuration.
+
+    .. deprecated::
+        Build :class:`~repro.experiments.spec.ExperimentSpec` objects and run
+        them through a :class:`~repro.experiments.session.Session` instead;
+        this class is a compatibility adapter over that path.
 
     Parameters
     ----------
@@ -38,32 +54,72 @@ class ExperimentRunner:
         for the reduced sweeps (used by tests and quick benchmark runs).
     seed:
         Seed for the workload generators.
+    session:
+        The :class:`Session` executing and caching the experiments; a fresh
+        serial session by default.
     """
 
     preset: GPUPreset = DEFAULT_PRESET
     device_config: Optional[DeviceConfig] = None
     scale: str = "paper"
     seed: int = 0
-    _cache: Dict[str, PredictionComparison] = field(default_factory=dict, repr=False)
+    session: Session = field(default_factory=Session, repr=False)
 
     def __post_init__(self) -> None:
         if self.device_config is None:
             self.device_config = DeviceConfig.gtx650()
         if self.scale not in ("paper", "small"):
             raise ValueError(f"scale must be 'paper' or 'small', got {self.scale!r}")
+        warnings.warn(
+            "ExperimentRunner is deprecated; use repro.experiments.Session "
+            "with ExperimentSpec objects instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Spec translation
+    # ------------------------------------------------------------------ #
+    def _preset_name(self) -> str:
+        """The registry name of the runner's preset, registering it if needed.
+
+        The legacy runner accepted any preset object, including customised
+        copies that keep a registered name (e.g. ``replace(GTX_650, ...)``);
+        those are registered under a content-addressed alias so the spec can
+        still refer to them by name without colliding with the original.
+        """
+        name = self.preset.name
+        registered = PRESETS.get(name.lower())
+        if registered is None:
+            register_preset(self.preset)
+            return name
+        if registered == self.preset:
+            return name
+        digest = hashlib.sha256(repr(self.preset).encode("utf-8")).hexdigest()[:8]
+        alias = f"{name}-{digest}"
+        if alias.lower() not in PRESETS:
+            register_preset(replace(self.preset, name=alias))
+        return alias
+
+    def spec_for(
+        self, algorithm: str, sizes: Optional[Sequence[int]] = None
+    ) -> ExperimentSpec:
+        """The :class:`ExperimentSpec` describing one run with current fields."""
+        return ExperimentSpec(
+            algorithm=algorithm,
+            sizes=tuple(int(n) for n in sizes) if sizes is not None else None,
+            scale=self.scale,
+            preset=self._preset_name(),
+            device_config=self.device_config,
+            seed=self.seed,
+        )
 
     # ------------------------------------------------------------------ #
     # Single-algorithm experiments
     # ------------------------------------------------------------------ #
     def sizes_for(self, algorithm: GPUAlgorithm) -> List[int]:
         """The sweep sizes used for ``algorithm`` at the runner's scale."""
-        try:
-            return list(sweep_for(algorithm.name, scale=self.scale).sizes)
-        except KeyError:
-            sizes = algorithm.default_sizes()
-            if self.scale == "small":
-                sizes = sizes[: max(3, len(sizes) // 3)]
-            return sizes
+        return self.spec_for(algorithm.name).resolved_sizes(algorithm)
 
     def run_algorithm(
         self,
@@ -72,18 +128,9 @@ class ExperimentRunner:
         use_cache: bool = True,
     ) -> PredictionComparison:
         """Run the full prediction-vs-observation experiment for one algorithm."""
-        cache_key = f"{algorithm.name}:{self.scale}:{tuple(sizes) if sizes else 'default'}"
-        if use_cache and cache_key in self._cache:
-            return self._cache[cache_key]
-        sweep_sizes = list(sizes) if sizes is not None else self.sizes_for(algorithm)
-        prediction = algorithm.predict_sweep(sweep_sizes, preset=self.preset)
-        observation = algorithm.observe_sweep(
-            sweep_sizes, config=self.device_config, seed=self.seed
-        )
-        comparison = PredictionComparison(prediction=prediction, observation=observation)
-        if use_cache:
-            self._cache[cache_key] = comparison
-        return comparison
+        spec = self.spec_for(algorithm.name, sizes=sizes)
+        result = self.session.run(spec, use_cache=use_cache, algorithm=algorithm)
+        return result.comparison()
 
     def run_by_name(self, name: str, sizes: Optional[Sequence[int]] = None
                     ) -> PredictionComparison:
@@ -95,4 +142,8 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     def run_paper_evaluation(self) -> Dict[str, PredictionComparison]:
         """Run the three experiments of Section IV and return them by name."""
-        return {name: self.run_by_name(name) for name in paper_algorithm_names()}
+        specs = [self.spec_for(name) for name in paper_algorithm_names()]
+        results = self.session.run_many(specs)
+        return {
+            result.algorithm: result.comparison() for result in results
+        }

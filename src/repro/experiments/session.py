@@ -1,0 +1,289 @@
+"""The Session façade: batched, cached execution of experiment specs.
+
+A :class:`Session` turns declarative :class:`~repro.experiments.spec.ExperimentSpec`
+objects into :class:`~repro.experiments.results.Result` objects through a
+pluggable execution engine:
+
+* :class:`SerialEngine` executes specs one after another in-process,
+* :class:`ProcessPoolEngine` fans a batch out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Every executed spec is cached under its
+:meth:`~repro.experiments.spec.ExperimentSpec.spec_hash` — in memory always,
+and additionally as one JSON file per spec when the session is given a
+``cache_dir``.  Repeated runs of the same spec (same algorithm, sizes,
+preset, device configuration, seed and backends) are served from the cache;
+the ``cache_hits`` / ``cache_misses`` counters expose that behaviour.
+
+Quick use::
+
+    from repro.experiments import ExperimentSpec, Session, paper_specs
+
+    session = Session()
+    result = session.run(ExperimentSpec("vector_addition", scale="small"))
+    print(result.summary())
+
+    evaluation = session.run_many(paper_specs(scale="small"))
+    print(evaluation.summaries())
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Protocol, Sequence, Union
+
+from repro.algorithms.base import GPUAlgorithm
+from repro.algorithms.registry import create
+from repro.experiments.results import Result, ResultSet
+from repro.experiments.spec import ExperimentSpec, paper_specs
+
+
+def execute_spec(
+    spec: ExperimentSpec, algorithm: Optional[GPUAlgorithm] = None
+) -> Result:
+    """Execute one spec: predict, observe, and package the result.
+
+    This is the single execution path behind every engine (it is a
+    module-level function so process-pool workers can pickle it).
+    ``algorithm`` optionally supplies a pre-built instance — useful for
+    algorithm objects that are not in the registry.
+    """
+    if algorithm is None:
+        algorithm = create(spec.algorithm)
+    elif algorithm.name != spec.algorithm:
+        raise ValueError(
+            f"algorithm instance {algorithm.name!r} does not match the spec's "
+            f"{spec.algorithm!r}"
+        )
+    sizes = spec.resolved_sizes(algorithm)
+    preset = spec.resolved_preset()
+    prediction = algorithm.predict_sweep(
+        sizes, preset=preset, backends=spec.backends
+    )
+    observation = algorithm.observe_sweep(
+        sizes, config=spec.resolved_device_config(), seed=spec.seed
+    )
+    return Result.from_sweeps(spec, prediction, observation)
+
+
+class ExecutionEngine(Protocol):
+    """What a session requires of an execution engine."""
+
+    name: str
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
+        """Execute every spec, preserving order."""
+        ...
+
+
+class SerialEngine:
+    """Execute specs one after another in the current process."""
+
+    name = "serial"
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
+        return [execute_spec(spec) for spec in specs]
+
+
+class ProcessPoolEngine:
+    """Execute a batch of specs across a pool of worker processes.
+
+    Falls back to in-process execution for batches of one (a pool buys
+    nothing there).  ``max_workers`` defaults to the smaller of the batch
+    size and the CPU count.
+
+    .. note::
+        Specs naming backends or presets registered at runtime (via
+        :func:`repro.core.backends.register_backend` /
+        :func:`repro.core.presets.register_preset`) resolve in workers under
+        the ``fork`` start method (the Linux default), which inherits the
+        parent's registries.  Under ``spawn`` (macOS / Windows default)
+        workers re-import the package and only see the built-ins — register
+        custom entries at import time of a module the workers load, or use
+        the serial engine for such specs.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
+        if len(specs) <= 1:
+            return [execute_spec(spec) for spec in specs]
+        workers = self.max_workers or min(len(specs), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_spec, specs))
+
+
+#: Engine factories by name, for ``Session(engine="...")``.
+ENGINES = {
+    SerialEngine.name: SerialEngine,
+    ProcessPoolEngine.name: ProcessPoolEngine,
+}
+
+
+def resolve_engine(engine: Union[str, ExecutionEngine]) -> ExecutionEngine:
+    """Turn an engine name or instance into an engine instance."""
+    if isinstance(engine, str):
+        try:
+            factory = ENGINES[engine]
+        except KeyError as exc:
+            known = ", ".join(sorted(ENGINES))
+            raise KeyError(
+                f"unknown execution engine {engine!r}; known engines: {known}"
+            ) from exc
+        return factory()
+    return engine
+
+
+class Session:
+    """Executes experiment specs with transparent caching and batching.
+
+    Parameters
+    ----------
+    engine:
+        An engine name (``"serial"`` or ``"process"``) or any object
+        satisfying :class:`ExecutionEngine`.
+    cache_dir:
+        Optional directory for the on-disk JSON result store (one
+        ``<spec_hash>.json`` file per result).  Results found there survive
+        across sessions and processes.
+    """
+
+    def __init__(
+        self,
+        engine: Union[str, ExecutionEngine] = "serial",
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.engine = resolve_engine(engine)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, Result] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_size(self) -> int:
+        """Number of results held in the in-memory cache."""
+        return len(self._memory)
+
+    def clear_cache(self, disk: bool = False) -> None:
+        """Drop the in-memory cache (and the on-disk store with ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def lookup(self, spec: ExperimentSpec) -> Optional[Result]:
+        """Cached result for a spec, or ``None`` (does not touch counters)."""
+        key = spec.spec_hash()
+        result = self._memory.get(key)
+        if result is not None:
+            return result
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                result = Result.from_json(path.read_text(encoding="utf-8"))
+            except (ValueError, KeyError, TypeError, OSError):
+                # A truncated or corrupted store entry is a miss, not a
+                # crash: drop it and let the spec re-execute.
+                path.unlink(missing_ok=True)
+                return None
+            self._memory[key] = result
+            return result
+        return None
+
+    def _store(self, spec: ExperimentSpec, result: Result) -> None:
+        key = spec.spec_hash()
+        self._memory[key] = result
+        path = self._disk_path(key)
+        if path is not None:
+            path.write_text(result.to_json(), encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: ExperimentSpec,
+        use_cache: bool = True,
+        algorithm: Optional[GPUAlgorithm] = None,
+    ) -> Result:
+        """Execute one spec (serially), serving repeats from the cache."""
+        if use_cache:
+            cached = self.lookup(spec)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        result = execute_spec(spec, algorithm=algorithm)
+        if use_cache:
+            self._store(spec, result)
+        return result
+
+    def run_many(
+        self, specs: Sequence[ExperimentSpec], use_cache: bool = True
+    ) -> ResultSet:
+        """Execute a batch of specs through the engine, preserving order.
+
+        Cached specs are answered immediately; only the misses go to the
+        engine.  Duplicate specs within one batch are executed once: the
+        first occurrence counts as a miss, the repeats as hits (they are
+        served from that one execution), so ``cache_misses`` always equals
+        the number of actual executions.
+        """
+        specs = list(specs)
+        slots: List[Optional[Result]] = [None] * len(specs)
+        pending: Dict[str, List[int]] = {}
+        for index, spec in enumerate(specs):
+            cached = self.lookup(spec) if use_cache else None
+            if cached is not None:
+                self.cache_hits += 1
+                slots[index] = cached
+            else:
+                key = spec.spec_hash()
+                if key in pending:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+                pending.setdefault(key, []).append(index)
+        if pending:
+            to_run = [specs[indices[0]] for indices in pending.values()]
+            fresh = self.engine.map(to_run)
+            for spec, result, indices in zip(
+                to_run, fresh, pending.values()
+            ):
+                if use_cache:
+                    self._store(spec, result)
+                for index in indices:
+                    slots[index] = result
+        return ResultSet(results=[slot for slot in slots if slot is not None])
+
+    # ------------------------------------------------------------------ #
+    # The paper's evaluation
+    # ------------------------------------------------------------------ #
+    def run_paper_evaluation(
+        self, scale: str = "paper", use_cache: bool = True, **spec_kwargs
+    ) -> ResultSet:
+        """Run the three Section IV experiments as one batch.
+
+        ``spec_kwargs`` forward to :func:`repro.experiments.spec.paper_specs`
+        (``preset``, ``device_config``, ``seed``, ``backends``).
+        """
+        return self.run_many(
+            paper_specs(scale=scale, **spec_kwargs), use_cache=use_cache
+        )

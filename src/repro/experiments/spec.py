@@ -1,0 +1,205 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the complete, immutable description of one
+prediction-vs-observation experiment: which algorithm, which input sizes (an
+explicit tuple or a named sweep scale), which GPU preset drives the
+prediction, which simulated device produces the observation, which seed
+feeds the workload generators, and which cost-model backends are evaluated.
+
+Specs are frozen and hashable, round-trip through plain dictionaries and
+JSON, and expose a :meth:`~ExperimentSpec.spec_hash` derived from their
+canonical JSON — the one cache key used everywhere (it therefore includes
+the seed, preset and device configuration, unlike the legacy runner's
+name-and-sizes key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.backends import DEFAULT_BACKENDS
+from repro.core.presets import DEFAULT_PRESET, GPUPreset, get_preset
+from repro.simulator.config import DeviceConfig
+from repro.workloads.sweeps import sweep_for
+
+#: The scales a spec may name instead of explicit sizes.
+SCALES: Tuple[str, ...] = ("paper", "small")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, fully described and hashable.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name of the algorithm (see :mod:`repro.algorithms.registry`).
+    sizes:
+        Explicit sweep sizes.  When ``None`` the named sweep for
+        ``algorithm`` at ``scale`` is used (falling back to the algorithm's
+        default sizes).
+    scale:
+        ``"paper"`` for the exact Section IV sweeps, ``"small"`` for the
+        reduced variants.  Ignored when ``sizes`` is given.
+    preset:
+        Name of the GPU preset driving the prediction (see
+        :func:`repro.core.presets.get_preset`).
+    device_config:
+        Simulator configuration for the observation side; defaults to the
+        GTX-650-like device matching the default preset.
+    seed:
+        Seed for the workload generators.
+    backends:
+        Names of the cost-model backends to evaluate
+        (:mod:`repro.core.backends`).
+    """
+
+    algorithm: str
+    sizes: Optional[Tuple[int, ...]] = None
+    scale: str = "paper"
+    preset: str = DEFAULT_PRESET.name
+    device_config: Optional[DeviceConfig] = None
+    seed: int = 0
+    backends: Tuple[str, ...] = DEFAULT_BACKENDS
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ValueError("an experiment spec needs an algorithm name")
+        if self.scale not in SCALES:
+            raise ValueError(
+                f"scale must be one of {', '.join(SCALES)}; got {self.scale!r}"
+            )
+        if self.sizes is not None:
+            sizes = tuple(int(n) for n in self.sizes)
+            if not sizes:
+                raise ValueError("sizes must not be empty when given")
+            if any(n <= 0 for n in sizes):
+                raise ValueError("sweep sizes must be positive")
+            object.__setattr__(self, "sizes", sizes)
+        backends = tuple(str(name) for name in self.backends)
+        if not backends:
+            raise ValueError("an experiment spec needs at least one backend")
+        object.__setattr__(self, "backends", backends)
+        object.__setattr__(self, "seed", int(self.seed))
+
+    # ------------------------------------------------------------------ #
+    # Resolution against the registries
+    # ------------------------------------------------------------------ #
+    def resolved_sizes(self, algorithm=None) -> List[int]:
+        """The concrete sweep sizes this spec describes.
+
+        ``algorithm`` optionally supplies an already-constructed
+        :class:`~repro.algorithms.base.GPUAlgorithm` instance for the
+        default-sizes fallback (avoids a registry lookup, and supports
+        unregistered algorithm objects).
+        """
+        if self.sizes is not None:
+            return list(self.sizes)
+        try:
+            return list(sweep_for(self.algorithm, scale=self.scale).sizes)
+        except KeyError:
+            pass
+        if algorithm is None:
+            from repro.algorithms.registry import create
+
+            algorithm = create(self.algorithm)
+        sizes = list(algorithm.default_sizes())
+        if self.scale == "small":
+            sizes = sizes[: max(3, len(sizes) // 3)]
+        return sizes
+
+    def resolved_preset(self) -> GPUPreset:
+        """The :class:`~repro.core.presets.GPUPreset` this spec names."""
+        return get_preset(self.preset)
+
+    def resolved_device_config(self) -> DeviceConfig:
+        """The simulator configuration (default: the GTX-650 device)."""
+        return self.device_config or DeviceConfig.gtx650()
+
+    def with_overrides(self, **kwargs) -> "ExperimentSpec":
+        """Copy of the spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and hashing
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a plain JSON-serialisable dictionary."""
+        return {
+            "algorithm": self.algorithm,
+            "sizes": list(self.sizes) if self.sizes is not None else None,
+            "scale": self.scale,
+            "preset": self.preset,
+            "device_config": (
+                self.device_config.to_dict()
+                if self.device_config is not None
+                else None
+            ),
+            "seed": self.seed,
+            "backends": list(self.backends),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec fields: {', '.join(unknown)}"
+            )
+        payload = dict(data)
+        device = payload.get("device_config")
+        if device is not None and not isinstance(device, DeviceConfig):
+            payload["device_config"] = DeviceConfig.from_dict(device)
+        sizes = payload.get("sizes")
+        if sizes is not None:
+            payload["sizes"] = tuple(sizes)
+        backends = payload.get("backends")
+        if backends is not None:
+            payload["backends"] = tuple(backends)
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """The spec as canonical (sorted-key) JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable short hash of the full spec — the universal cache key.
+
+        Computed over the canonical JSON, so it covers *every* field
+        (including seed, preset and device configuration) and is identical
+        across processes and interpreter runs.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+
+def paper_specs(
+    scale: str = "paper",
+    preset: str = DEFAULT_PRESET.name,
+    device_config: Optional[DeviceConfig] = None,
+    seed: int = 0,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+) -> List[ExperimentSpec]:
+    """Specs for the three experiments of Section IV, in the paper's order."""
+    from repro.algorithms.registry import paper_algorithm_names
+
+    return [
+        ExperimentSpec(
+            algorithm=name,
+            scale=scale,
+            preset=preset,
+            device_config=device_config,
+            seed=seed,
+            backends=tuple(backends),
+        )
+        for name in paper_algorithm_names()
+    ]

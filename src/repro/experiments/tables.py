@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from repro.core.comparison import model_feature_table, render_feature_table
 from repro.core.prediction import PredictionComparison
+from repro.experiments.results import as_comparison, as_comparisons
 
 #: The values the paper reports in Section IV-D, for side-by-side comparison.
 PAPER_REPORTED = {
@@ -71,8 +72,13 @@ class AlgorithmSummary:
         return self.atgpu_shape_score >= self.swgpu_shape_score
 
 
-def summarise(name: str, comparison: PredictionComparison) -> AlgorithmSummary:
-    """Build the Section IV-D summary of one algorithm's experiment."""
+def summarise(name: str, comparison) -> AlgorithmSummary:
+    """Build the Section IV-D summary of one algorithm's experiment.
+
+    ``comparison`` may be a :class:`PredictionComparison` or a
+    :class:`~repro.experiments.results.Result`.
+    """
+    comparison = as_comparison(comparison)
     paper = PAPER_REPORTED.get(name, {})
     return AlgorithmSummary(
         algorithm=name,
@@ -88,12 +94,14 @@ def summarise(name: str, comparison: PredictionComparison) -> AlgorithmSummary:
     )
 
 
-def summary_statistics(
-    comparisons: Dict[str, PredictionComparison]
-) -> Dict[str, AlgorithmSummary]:
-    """Section IV-D statistics for every algorithm in ``comparisons``."""
+def summary_statistics(comparisons) -> Dict[str, AlgorithmSummary]:
+    """Section IV-D statistics for every algorithm in ``comparisons``.
+
+    Accepts a ``{name: comparison-or-result}`` mapping or a
+    :class:`~repro.experiments.results.ResultSet`.
+    """
     return {name: summarise(name, comparison)
-            for name, comparison in comparisons.items()}
+            for name, comparison in as_comparisons(comparisons).items()}
 
 
 def render_summary(summaries: Dict[str, AlgorithmSummary]) -> str:

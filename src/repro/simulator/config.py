@@ -11,7 +11,10 @@ the ``b``, ``M`` and ``G`` of the abstract machine it realises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping
 
 from repro.core.machine import ATGPUMachine
 from repro.utils.validation import (
@@ -139,6 +142,36 @@ class DeviceConfig:
     def with_overrides(self, **kwargs) -> "DeviceConfig":
         """Copy of the configuration with selected fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and hashing (used by experiment specs and caches)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """All configuration fields as a plain JSON-serialisable dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeviceConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown DeviceConfig fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def config_hash(self) -> str:
+        """Stable short hash of the configuration.
+
+        Derived from the canonical JSON of every field, so two configs hash
+        equal exactly when all their fields are equal — across processes and
+        interpreter runs (unlike the built-in ``hash``).  Convenience for
+        external stores keying on a device; experiment specs embed the full
+        config dict in their own hash instead of calling this.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------ #
     # Named configurations
