@@ -26,6 +26,12 @@ def bench_scale() -> str:
 
 
 @pytest.fixture(scope="session")
+def scale() -> str:
+    """The sweep scale as a fixture, for benchmarks building their own specs."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """The experiment runner shared by every benchmark."""
     return ExperimentRunner(scale=bench_scale())

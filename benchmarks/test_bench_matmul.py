@@ -15,19 +15,21 @@ def _run(benchmark, comparison, key):
     return series
 
 
-def test_figure5a_predicted_costs(benchmark, paper_comparisons):
+def test_figure5a_predicted_costs(benchmark, paper_comparisons, scale):
     """Figure 5a: ATGPU vs SWGPU predicted cost for n = 32 .. 1024."""
     series = _run(benchmark, paper_comparisons["matrix_multiplication"], "5a")
     atgpu = series.series["ATGPU"]
-    # Cost grows super-linearly in the matrix side (O(n^3) work).
-    assert atgpu[-1] / atgpu[0] > 100
+    # Cost grows super-linearly in the matrix side (O(n^3) work); the small
+    # sweep only spans 32..256, where the fixed costs still weigh in.
+    assert atgpu[-1] / atgpu[0] > (100 if scale == "paper" else 5)
 
 
-def test_figure5b_observed_times(benchmark, paper_comparisons):
+def test_figure5b_observed_times(benchmark, paper_comparisons, scale):
     """Figure 5b: observed total vs kernel time -- nearly identical curves."""
     series = _run(benchmark, paper_comparisons["matrix_multiplication"], "5b")
     total, kernel = series.series["Total"], series.series["Kernel"]
     assert (total >= kernel).all()
     # At the largest sizes the kernel accounts for almost all of the total,
-    # the paper's "model not needed here" case.
-    assert kernel[-1] / total[-1] > 0.75
+    # the paper's "model not needed here" case (less so on the small sweep,
+    # whose largest matrix is only 256x256).
+    assert kernel[-1] / total[-1] > (0.75 if scale == "paper" else 0.5)

@@ -1,0 +1,98 @@
+"""Benchmarks for the compute/copy-overlap (async streams) experiments.
+
+Prints the serial-vs-async predicted cost curves, the overlap-speedup
+summary table, a chunk-count sweep, and a simulated streamed run — the
+overlap analogues of the paper's figures, beyond its evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import VectorAddition
+from repro.experiments import (
+    ExperimentSpec,
+    Session,
+    figure_chunk_sweep,
+    figure_overlap,
+    overlap_summary,
+    render_figure,
+    render_overlap_summary,
+)
+from repro.simulator import DeviceConfig
+
+#: Backends evaluated by the overlap benchmarks (serial pair + async).
+OVERLAP_BACKENDS = ("atgpu", "swgpu", "perfect", "atgpu-async")
+
+
+@pytest.fixture(scope="module")
+def overlap_results(scale):
+    """Serial + async predictions for the two streamed algorithms."""
+    session = Session()
+    specs = [
+        ExperimentSpec(name, scale=scale, backends=OVERLAP_BACKENDS)
+        for name in ("vector_addition", "reduction")
+    ]
+    return session.run_many(specs)
+
+
+def test_overlap_prediction_vector_addition(benchmark, overlap_results):
+    """Async prediction strictly beats serial on the copy-bound sweep."""
+    result = overlap_results.get("vector_addition")
+
+    def build():
+        return figure_overlap(result)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    assert np.all(series.series["Speedup Δ"] > 1.0)
+
+
+def test_overlap_summary_table(benchmark, overlap_results):
+    """The Δ summary table: overlap never loses, wins big when copy-bound."""
+
+    def build():
+        return overlap_summary(overlap_results)
+
+    summaries = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_overlap_summary(summaries))
+    assert summaries["vector_addition"].mean_speedup > 1.05
+    assert summaries["reduction"].mean_speedup >= 1.0
+
+
+def test_chunk_count_sweep(benchmark, overlap_results):
+    """Speedup across chunk counts: 1 is serial, then diminishing returns."""
+    sizes = overlap_results.get("vector_addition").sizes
+
+    def build():
+        return figure_chunk_sweep("vector_addition", sizes[-1])
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    speedups = series.series["Speedup Δ"]
+    assert speedups[0] == pytest.approx(1.0)
+    assert speedups.max() > 1.0
+
+
+def test_simulated_streamed_run(benchmark, scale):
+    """The stream-timeline simulator agrees that overlap wins."""
+    algorithm = VectorAddition()
+    n = 200_000 if scale == "small" else 2_000_000
+
+    def run():
+        return algorithm.observe_streamed(
+            n, config=DeviceConfig.gtx650(), chunks=4
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"n={n}: serial {result.serial_time_s * 1e3:.3f} ms, "
+        f"overlapped {result.makespan_s * 1e3:.3f} ms, "
+        f"speedup {result.overlap_speedup:.3f}x"
+    )
+    assert result.makespan_s < result.serial_time_s

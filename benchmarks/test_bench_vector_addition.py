@@ -26,7 +26,10 @@ def test_figure3a_predicted_costs(benchmark, paper_comparisons):
     series = _run(benchmark, paper_comparisons["vector_addition"], "3a")
     atgpu, swgpu = series.series["ATGPU"], series.series["SWGPU"]
     assert (atgpu > swgpu).all()
-    assert atgpu[-1] / atgpu[0] > 5  # roughly linear growth over a 10x sweep
+    # Roughly linear growth over the sweep's span (10x paper, 5x small);
+    # the fixed α/σ offsets keep the ratio somewhat below the span itself.
+    span = series.sizes[-1] / series.sizes[0]
+    assert atgpu[-1] / atgpu[0] > 0.5 * span
 
 
 def test_figure3b_observed_times(benchmark, paper_comparisons):

@@ -60,11 +60,13 @@ from repro.core import (
     CostParameters,
     GTX_650,
     OccupancyModel,
+    OverlappedTransferModel,
     SWGPUCostModel,
     analyse_metrics,
     backend_names,
     get_backend,
     get_preset,
+    make_async_backend,
     register_backend,
 )
 from repro.experiments import (
@@ -78,7 +80,7 @@ from repro.experiments import (
     summary_statistics,
     table1,
 )
-from repro.simulator import DeviceConfig, GPUDevice
+from repro.simulator import DeviceConfig, GPUDevice, StreamTimeline
 
 __version__ = "1.0.0"
 
@@ -98,11 +100,13 @@ __all__ = [
     "CostParameters",
     "GTX_650",
     "OccupancyModel",
+    "OverlappedTransferModel",
     "SWGPUCostModel",
     "analyse_metrics",
     "backend_names",
     "get_backend",
     "get_preset",
+    "make_async_backend",
     "register_backend",
     "ExperimentRunner",
     "ExperimentSpec",
@@ -115,5 +119,6 @@ __all__ = [
     "table1",
     "DeviceConfig",
     "GPUDevice",
+    "StreamTimeline",
     "__version__",
 ]

@@ -7,7 +7,13 @@ extension algorithms (prefix sum, stencil, histogram, SpMV) cover the
 "further computational problems" the paper's conclusion calls for.
 """
 
-from repro.algorithms.base import GPUAlgorithm, ObservationRecord, RunResult
+from repro.algorithms.base import (
+    GPUAlgorithm,
+    ObservationRecord,
+    RunResult,
+    StreamedRunResult,
+    chunk_bounds,
+)
 from repro.algorithms.histogram import BlockHistogramKernel, Histogram, MergePartialsKernel
 from repro.algorithms.matrix_multiplication import (
     MatrixMultiplication,
@@ -32,6 +38,8 @@ __all__ = [
     "GPUAlgorithm",
     "ObservationRecord",
     "RunResult",
+    "StreamedRunResult",
+    "chunk_bounds",
     "BlockHistogramKernel",
     "Histogram",
     "MergePartialsKernel",

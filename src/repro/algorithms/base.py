@@ -33,6 +33,64 @@ from repro.core.presets import DEFAULT_PRESET, GPUPreset
 from repro.pseudocode.program import Program
 from repro.simulator.config import DeviceConfig
 from repro.simulator.device import GPUDevice
+from repro.simulator.streams import StreamTimeline
+from repro.utils.validation import ensure_positive_int
+
+
+def chunk_bounds(n: int, chunks: int) -> List[tuple]:
+    """Near-equal ``[lo, hi)`` bounds splitting ``n`` elements into chunks.
+
+    ``chunks`` is clamped to ``n`` so every chunk is non-empty; the first
+    ``n % chunks`` chunks carry one extra element.
+    """
+    ensure_positive_int(n, "n")
+    ensure_positive_int(chunks, "chunks")
+    chunks = min(chunks, n)
+    base, extra = divmod(n, chunks)
+    bounds = []
+    lo = 0
+    for index in range(chunks):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@dataclass
+class StreamedRunResult:
+    """Outcome of a chunked, double-buffered (streamed) algorithm run.
+
+    All timing views derive from the attached stream timeline:
+    :attr:`makespan_s` is the overlapped total time (its critical path) and
+    :attr:`serial_time_s` is what the very same operations would cost back
+    to back, so their ratio isolates the benefit of compute/copy overlap.
+    """
+
+    outputs: Dict[str, np.ndarray]
+    chunk_count: int
+    timeline: StreamTimeline
+
+    @property
+    def makespan_s(self) -> float:
+        """Overlapped total time (the timeline's critical path)."""
+        return self.timeline.makespan_s
+
+    @property
+    def serial_time_s(self) -> float:
+        """The same operations executed back to back (no overlap)."""
+        return self.timeline.serial_time_s
+
+    @property
+    def overlap_saving_s(self) -> float:
+        """Seconds recovered by overlapping: serial sum minus makespan."""
+        return self.timeline.overlap_saving_s
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial-over-overlapped time ratio (1.0 = no overlap benefit)."""
+        if self.makespan_s == 0:
+            return 1.0
+        return self.serial_time_s / self.makespan_s
 
 
 @dataclass
@@ -151,6 +209,43 @@ class GPUAlgorithm(abc.ABC):
     @abc.abstractmethod
     def run(self, device: GPUDevice, inputs: Dict[str, np.ndarray]) -> RunResult:
         """Execute the algorithm end to end on a simulated device."""
+
+    def run_streamed(
+        self,
+        device: GPUDevice,
+        inputs: Dict[str, np.ndarray],
+        chunks: int = 2,
+        pinned: bool = False,
+    ) -> StreamedRunResult:
+        """Chunked, double-buffered execution on asynchronous streams.
+
+        Splits the workload into ``chunks`` pieces, schedules each piece's
+        H2D copies, kernels and D2H copies on its own stream of a
+        :class:`~repro.simulator.streams.StreamTimeline`, and reports the
+        overlapped makespan alongside the serial sum.  Not every algorithm
+        decomposes this way; the base implementation raises.
+        """
+        raise NotImplementedError(
+            f"algorithm {self.name!r} has no streamed execution mode"
+        )
+
+    @property
+    def supports_streaming(self) -> bool:
+        """Whether :meth:`run_streamed` is implemented for this algorithm."""
+        return type(self).run_streamed is not GPUAlgorithm.run_streamed
+
+    def observe_streamed(
+        self,
+        n: int,
+        config: Optional[DeviceConfig] = None,
+        chunks: int = 2,
+        seed: int = 0,
+        pinned: bool = False,
+    ) -> StreamedRunResult:
+        """Run the streamed mode at size ``n`` on a fresh device."""
+        device = GPUDevice(config or DeviceConfig.gtx650())
+        inputs = self.generate_input(n, seed=seed)
+        return self.run_streamed(device, inputs, chunks=chunks, pinned=pinned)
 
     def observe(
         self,

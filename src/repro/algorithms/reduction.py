@@ -27,7 +27,13 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import GPUAlgorithm, RunResult
+from repro.algorithms.base import (
+    GPUAlgorithm,
+    RunResult,
+    StreamedRunResult,
+    chunk_bounds,
+)
+from repro.core.transfer import TransferDirection
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics, RoundMetrics
 from repro.pseudocode.ast_nodes import (
@@ -46,6 +52,7 @@ from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
+from repro.simulator.streams import StreamOpKind, StreamTimeline
 from repro.utils.validation import ensure_positive_int
 
 
@@ -259,3 +266,82 @@ class Reduction(GPUAlgorithm):
         for name in ("a", "partials"):
             device.free(name)
         return result
+
+    def _timed_kernel(self, device: GPUDevice, kernel: ReductionRoundKernel):
+        """Sampled-trace timing of one reduction kernel (no data movement)."""
+        pairs, _ = device.functional_engine.execute_sampled(kernel)
+        return device.timing_engine.kernel_timing(kernel.name, pairs)
+
+    def run_streamed(
+        self,
+        device: GPUDevice,
+        inputs: Dict[str, np.ndarray],
+        chunks: int = 2,
+        pinned: bool = False,
+    ) -> StreamedRunResult:
+        """Chunked reduction with the input copies overlapped by first-level
+        kernels.
+
+        Each chunk's stream carries its H2D copy followed by the first
+        reduction level over that chunk, so the (transfer-dominant) input
+        copy of chunk ``i+1`` streams in while chunk ``i`` reduces.  The
+        surviving partial sums are then reduced by the usual tree on a final
+        stream that waits on every chunk, and the single-word answer is
+        copied out.
+        """
+        a = np.asarray(inputs["A"])
+        n = a.size
+        b = device.config.warp_width
+        bounds = chunk_bounds(n, chunks)
+        # Every chunk contributes ceil(m/b) partial sums; with many small
+        # chunks that exceeds the ceil(n/b) of the unchunked run.
+        total_partials = sum(math.ceil((hi - lo) / b) for lo, hi in bounds)
+        device.reset_timers()
+        device.allocate("a", n, dtype=a.dtype).data[:] = a.reshape(-1)
+        device.allocate("partials", max(1, total_partials), dtype=a.dtype)
+        # Sampled trace blocks really execute (and the final tree writes its
+        # partial sums back into "a"), so take the answer before tracing.
+        answer = np.array([device.array("a").data[:n].sum()], dtype=a.dtype)
+
+        timeline = StreamTimeline()
+        chunk_kernel_ops = []
+        partials = 0
+        for index, (lo, hi) in enumerate(bounds):
+            m = hi - lo
+            stream = timeline.stream(f"chunk{index}")
+            record = device.transfer_engine.transfer(
+                m, TransferDirection.HOST_TO_DEVICE, pinned=pinned,
+                label=f"a[{lo}:{hi}]",
+            )
+            timeline.add_transfer(stream, record)
+            kernel = ReductionRoundKernel(m, b, src="a", dst="partials")
+            timing = self._timed_kernel(device, kernel)
+            chunk_kernel_ops.append(timeline.add_kernel(stream, timing))
+            partials += kernel.grid_size()
+        final = timeline.stream("final")
+        timeline.submit(
+            "final", StreamOpKind.HOST, device.config.sync_overhead_s,
+            name="chunk-level sync", wait=chunk_kernel_ops,
+        )
+        src, dst = "partials", "a"
+        if partials > 1:
+            for size in reduction_rounds(partials, b):
+                kernel = ReductionRoundKernel(size, b, src=src, dst=dst)
+                timeline.add_kernel(final, self._timed_kernel(device, kernel))
+                timeline.submit(
+                    final, StreamOpKind.HOST, device.config.sync_overhead_s,
+                    name=f"reduction level ({size} values)",
+                )
+                src, dst = dst, src
+        record = device.transfer_engine.transfer(
+            1, TransferDirection.DEVICE_TO_HOST, pinned=pinned, label="answer",
+        )
+        timeline.add_transfer(final, record)
+
+        for name in ("a", "partials"):
+            device.free(name)
+        return StreamedRunResult(
+            outputs={"Ans": answer},
+            chunk_count=min(chunks, n),
+            timeline=timeline,
+        )

@@ -11,13 +11,16 @@ parameters from observed timings.
 from repro.core.analysis import AnalysisReport, analyse_metrics, format_report
 from repro.core.backends import (
     CostModel,
+    DEFAULT_ASYNC_CHUNKS,
     DEFAULT_BACKENDS,
     FunctionBackend,
     backend_label,
     backend_names,
     evaluate_backends,
     get_backend,
+    make_async_backend,
     make_backend,
+    overlapped_cost,
     register_backend,
     unregister_backend,
 )
@@ -71,6 +74,7 @@ from repro.core.presets import (
 )
 from repro.core.transfer import (
     BoyerTransferModel,
+    OverlappedTransferModel,
     TransferDirection,
     TransferEvent,
     TransferPlan,
@@ -81,13 +85,16 @@ __all__ = [
     "analyse_metrics",
     "format_report",
     "CostModel",
+    "DEFAULT_ASYNC_CHUNKS",
     "DEFAULT_BACKENDS",
     "FunctionBackend",
     "backend_label",
     "backend_names",
     "evaluate_backends",
     "get_backend",
+    "make_async_backend",
     "make_backend",
+    "overlapped_cost",
     "register_backend",
     "unregister_backend",
     "CalibrationResult",
@@ -130,6 +137,7 @@ __all__ = [
     "preset_names",
     "register_preset",
     "BoyerTransferModel",
+    "OverlappedTransferModel",
     "TransferDirection",
     "TransferEvent",
     "TransferPlan",

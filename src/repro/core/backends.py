@@ -11,15 +11,23 @@ curves.
 
 Built-in backends (registered on import):
 
-=========  =============================================================
-``atgpu``    the GPU-cost of Expression (2) — the paper's headline curve
-``swgpu``    the same expression with the transfer terms removed
-             (``α = β = 0``), i.e. the kernel-only comparison cost
-``perfect``  the perfect-GPU cost of Expression (1) (no occupancy term)
-``agpu``     the AGPU asymptotic time view: AGPU has no cost function, so
-             this backend reports the raw device-step count from which
-             AGPU's time complexity is read (unit-less)
-=========  =============================================================
+==============  ========================================================
+``atgpu``         the GPU-cost of Expression (2) — the paper's headline
+                  curve
+``swgpu``         the same expression with the transfer terms removed
+                  (``α = β = 0``), i.e. the kernel-only comparison cost
+``perfect``       the perfect-GPU cost of Expression (1) (no occupancy
+                  term)
+``agpu``          the AGPU asymptotic time view: AGPU has no cost
+                  function, so this backend reports the raw device-step
+                  count from which AGPU's time complexity is read
+                  (unit-less)
+``atgpu-async``   Expression (2) with each round's transfers double
+                  buffered and overlapped with its kernel (the
+                  :class:`~repro.core.transfer.OverlappedTransferModel`
+                  pipeline makespan); :func:`make_async_backend` builds
+                  variants with other chunk counts
+==============  ========================================================
 
 New backends register through :func:`register_backend`; a convenient way to
 build one is :func:`make_backend` with any callable of signature
@@ -36,6 +44,7 @@ from repro.core.cost import ATGPUCostModel, CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
 from repro.core.occupancy import OccupancyModel
+from repro.core.transfer import OverlappedTransferModel
 
 #: Signature of a backend's evaluation function.
 CostFunction = Callable[
@@ -181,6 +190,68 @@ def _agpu_time(metrics, machine, parameters, occupancy) -> float:
     return AGPUAnalysis.from_metrics(metrics).time
 
 
+#: Chunk count of the default asynchronous backend (classic double buffer).
+DEFAULT_ASYNC_CHUNKS = 2
+
+
+def overlapped_cost(
+    metrics: AlgorithmMetrics,
+    machine: ATGPUMachine,
+    parameters: CostParameters,
+    occupancy: Optional[OccupancyModel],
+    chunks: int = DEFAULT_ASYNC_CHUNKS,
+) -> float:
+    """Expression (2) with per-round compute/copy overlap.
+
+    Every round keeps its kernel-side cost (occupancy-scaled compute + I/O)
+    and synchronisation ``σ`` from the serial model, but its transfers may
+    be split into ``chunks`` pieces and pipelined against the kernel through
+    an :class:`~repro.core.transfer.OverlappedTransferModel`.  Chunking pays
+    the per-transaction ``α`` once per chunk, so rounds with little to hide
+    (e.g. a reduction's single-word result copy) can lose more to that
+    overhead than overlap recovers; like a real scheduler, the backend
+    streams a round only when it wins, charging each round the cheaper of
+    its serial and pipelined costs.  The cost is therefore never above the
+    serial ``atgpu`` cost, and with ``chunks=1`` it is exactly equal.
+    """
+    model = ATGPUCostModel(machine, parameters, occupancy)
+    overlap = OverlappedTransferModel(
+        alpha=parameters.alpha, beta=parameters.beta, chunks=chunks
+    )
+    metrics.validate_against(machine)
+    total = 0.0
+    for round_metrics in metrics:
+        breakdown = model.round_breakdown(round_metrics, use_occupancy=True)
+        kernel = breakdown.compute + breakdown.io
+        pipelined = overlap.round_cost(round_metrics, kernel)
+        serial = breakdown.transfer + kernel
+        total += min(pipelined, serial) + breakdown.synchronisation
+    return total
+
+
+def make_async_backend(
+    chunks: int = DEFAULT_ASYNC_CHUNKS, name: str = "", label: str = ""
+) -> FunctionBackend:
+    """Build an overlapped-transfer backend with a given chunk count.
+
+    The default instance is registered as ``atgpu-async``; deeper pipelines
+    can be registered alongside it, e.g.
+    ``register_backend(make_async_backend(8))`` yields ``atgpu-async8``.
+    """
+
+    def _cost(metrics, machine, parameters, occupancy) -> float:
+        return overlapped_cost(metrics, machine, parameters, occupancy, chunks)
+
+    default = chunks == DEFAULT_ASYNC_CHUNKS
+    return make_backend(
+        name or ("atgpu-async" if default else f"atgpu-async{chunks}"),
+        label or ("ATGPU (async)" if default else f"ATGPU (async, {chunks} chunks)"),
+        _cost,
+        "Expression (2) with per-round transfers double buffered into "
+        f"{chunks} chunks and overlapped with the kernel",
+    )
+
+
 ATGPU_BACKEND = register_backend(make_backend(
     "atgpu", "ATGPU", _atgpu_cost,
     "GPU-cost of Expression (2): transfer + occupancy-scaled kernel cost",
@@ -198,6 +269,7 @@ AGPU_BACKEND = register_backend(make_backend(
     "AGPU asymptotic time view (unit-less device steps; AGPU has no cost "
     "function)",
 ))
+ATGPU_ASYNC_BACKEND = register_backend(make_async_backend())
 
 #: The backends evaluated by default throughout the package.
 DEFAULT_BACKENDS: Tuple[str, ...] = ("atgpu", "swgpu", "perfect")

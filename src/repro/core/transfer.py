@@ -23,6 +23,7 @@ from repro.core.metrics import RoundMetrics
 from repro.utils.validation import (
     ensure_non_negative,
     ensure_non_negative_int,
+    ensure_positive_int,
 )
 
 
@@ -35,11 +36,22 @@ class TransferDirection(enum.Enum):
 
 @dataclass(frozen=True)
 class TransferEvent:
-    """One logical transfer transaction (one array moved in one direction)."""
+    """One logical transfer transaction (one array moved in one direction).
+
+    A zero-word event is a *marker*: it records that a direction was touched
+    (e.g. a ``W`` statement whose slice turned out empty) but moves nothing,
+    costs nothing — not even the per-transaction ``α`` — and does not count
+    as a transaction.  Only events with ``words > 0`` are charged.
+    """
 
     direction: TransferDirection
     words: float
     label: str = ""
+
+    @property
+    def is_marker(self) -> bool:
+        """``True`` for zero-word events (uncharged, not a transaction)."""
+        return self.words == 0
 
     def __post_init__(self) -> None:
         ensure_non_negative(self.words, "words")
@@ -89,10 +101,15 @@ class BoyerTransferModel:
         return self.inward_cost(metrics) + self.outward_cost(metrics)
 
     def events_cost(self, events: Iterable[TransferEvent]) -> float:
-        """Cost of an explicit list of transfer events."""
+        """Cost of an explicit list of transfer events.
+
+        Each event with ``words > 0`` is one transaction (``α + words·β``);
+        zero-word marker events are free (see :class:`TransferEvent`),
+        matching the transaction counts reported by :class:`TransferPlan`.
+        """
         total = 0.0
         for event in events:
-            total += self.cost(event.words, 1 if event.words >= 0 else 0)
+            total += self.cost(event.words, 1 if event.words > 0 else 0)
         return total
 
     def effective_bandwidth(self, words: float, transactions: int = 1) -> float:
@@ -147,14 +164,113 @@ class TransferPlan:
 
     @property
     def inward_transactions(self) -> int:
-        """``Î_i`` implied by the plan (one transaction per event)."""
-        return len(self.inward_events)
+        """``Î_i`` implied by the plan.
+
+        One transaction per event that actually moves data; zero-word marker
+        events are not transactions, matching
+        :meth:`BoyerTransferModel.events_cost`.
+        """
+        return sum(1 for e in self.inward_events if not e.is_marker)
 
     @property
     def outward_transactions(self) -> int:
-        """``Ô_i`` implied by the plan."""
-        return len(self.outward_events)
+        """``Ô_i`` implied by the plan (zero-word markers excluded)."""
+        return sum(1 for e in self.outward_events if not e.is_marker)
 
     def total_words(self) -> float:
         """Total words moved by the plan in either direction."""
         return self.inward_words + self.outward_words
+
+
+@dataclass(frozen=True)
+class OverlappedTransferModel:
+    """Chunked, double-buffered variant of the Boyer transfer model.
+
+    Real pipelines split a round's data into ``chunks`` pieces and stream
+    them: while chunk ``c`` computes, chunk ``c+1`` is copied in and chunk
+    ``c-1`` is copied out, so transfer time hides behind kernel time
+    (CrystalGPU-style double buffering; ``chunks=2`` is the classic double
+    buffer, larger values model deeper pipelines).
+
+    The per-round cost is the makespan of a three-stage linear pipeline
+    (inward copy → kernel → outward copy) over ``chunks`` equal chunks, each
+    stage on its own engine::
+
+        T_I/C + t_k/C + T_O/C + (C - 1)·max(T_I, t_k, T_O)/C
+
+    where ``T_I = C·Î·α + I·β`` and ``T_O = C·Ô·α + O·β`` are the *chunked*
+    stage totals (every transaction splits into ``C`` smaller ones, so the
+    fixed overhead ``α`` is paid ``C`` times per logical transfer) and
+    ``t_k`` is the round's kernel-side cost supplied by the caller.  The
+    makespan always satisfies ``max(stages) ≤ cost ≤ sum(stages)``: overlap
+    can hide everything but the slowest stage, never more.  With
+    ``chunks=1`` the cost degenerates to the serial ``T_I + t_k + T_O``.
+    """
+
+    alpha: float
+    beta: float
+    chunks: int = 2
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.alpha, "alpha")
+        ensure_non_negative(self.beta, "beta")
+        ensure_positive_int(self.chunks, "chunks")
+
+    @property
+    def serial_model(self) -> BoyerTransferModel:
+        """The underlying serial Boyer model (same ``α``/``β``, no chunking)."""
+        return BoyerTransferModel(alpha=self.alpha, beta=self.beta)
+
+    # ------------------------------------------------------------------ #
+    # Stage costs
+    # ------------------------------------------------------------------ #
+    def chunked_inward_cost(self, metrics: RoundMetrics) -> float:
+        """Total inward stage cost with every transaction split into chunks."""
+        return self.serial_model.cost(
+            metrics.inward_words, self.chunks * metrics.inward_transactions
+        )
+
+    def chunked_outward_cost(self, metrics: RoundMetrics) -> float:
+        """Total outward stage cost with every transaction split into chunks."""
+        return self.serial_model.cost(
+            metrics.outward_words, self.chunks * metrics.outward_transactions
+        )
+
+    def stage_costs(
+        self, metrics: RoundMetrics, kernel_cost: float
+    ) -> Tuple[float, float, float]:
+        """The three chunked stage totals ``(T_I, t_k, T_O)`` of one round."""
+        ensure_non_negative(kernel_cost, "kernel_cost")
+        return (
+            self.chunked_inward_cost(metrics),
+            kernel_cost,
+            self.chunked_outward_cost(metrics),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Overlapped round cost
+    # ------------------------------------------------------------------ #
+    def round_cost(self, metrics: RoundMetrics, kernel_cost: float) -> float:
+        """Overlapped cost of one round (pipeline makespan, see class docs)."""
+        stages = self.stage_costs(metrics, kernel_cost)
+        total = sum(stages)
+        bottleneck = max(stages)
+        c = self.chunks
+        return total / c + (c - 1) * bottleneck / c
+
+    def serial_round_cost(self, metrics: RoundMetrics, kernel_cost: float) -> float:
+        """The un-overlapped comparison cost ``T_I + t_k + T_O`` (unchunked)."""
+        serial = self.serial_model
+        return (
+            serial.inward_cost(metrics)
+            + float(kernel_cost)
+            + serial.outward_cost(metrics)
+        )
+
+    def overlap_saving(self, metrics: RoundMetrics, kernel_cost: float) -> float:
+        """Serial cost minus overlapped cost for one round (can be negative:
+        chunking pays ``α`` per extra transaction, which deep pipelines may
+        not win back on rounds with little to hide)."""
+        return self.serial_round_cost(metrics, kernel_cost) - self.round_cost(
+            metrics, kernel_cost
+        )

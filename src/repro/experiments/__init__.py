@@ -12,6 +12,8 @@ from repro.experiments.figures import (
     figure4,
     figure5,
     figure6,
+    figure_chunk_sweep,
+    figure_overlap,
 )
 from repro.experiments.report import (
     render_comparison_summary,
@@ -37,7 +39,10 @@ from repro.experiments.session import (
 from repro.experiments.spec import ExperimentSpec, paper_specs
 from repro.experiments.tables import (
     AlgorithmSummary,
+    OverlapSummary,
     PAPER_REPORTED,
+    overlap_summary,
+    render_overlap_summary,
     render_summary,
     summarise,
     summary_statistics,
@@ -51,6 +56,8 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "figure_chunk_sweep",
+    "figure_overlap",
     "render_comparison_summary",
     "render_figure",
     "render_figures",
@@ -69,7 +76,10 @@ __all__ = [
     "ExperimentSpec",
     "paper_specs",
     "AlgorithmSummary",
+    "OverlapSummary",
     "PAPER_REPORTED",
+    "overlap_summary",
+    "render_overlap_summary",
     "render_summary",
     "summarise",
     "summary_statistics",

@@ -182,6 +182,85 @@ def figure6(comparisons) -> Dict[str, FigureSeries]:
     return out
 
 
+# --------------------------------------------------------------------- #
+# Overlap (async-stream) figures — beyond the paper's evaluation
+# --------------------------------------------------------------------- #
+def figure_overlap(
+    comparison,
+    serial_backend: str = "atgpu",
+    async_backend: str = "atgpu-async",
+    title: str = "Compute/copy overlap: serial vs async predicted cost",
+) -> FigureSeries:
+    """Serial vs overlapped predicted cost and the speedup Δ over a sweep.
+
+    ``comparison`` must carry prediction series for both backends, i.e. its
+    spec ran with e.g. ``backends=("atgpu", "swgpu", "perfect",
+    "atgpu-async")``.  The ``Speedup Δ`` curve is the per-size ratio of the
+    serial to the overlapped cost (≥ 1; how much the async pipeline wins).
+    """
+    comparison = as_comparison(comparison)
+    serial = comparison.prediction.series_for(serial_backend)
+    overlapped = comparison.prediction.series_for(async_backend)
+    return FigureSeries(
+        figure="Overlap",
+        title=title,
+        x_label="n",
+        y_label="cost / speedup",
+        sizes=comparison.sizes,
+        series={
+            "Serial": serial,
+            "Async": overlapped,
+            "Speedup Δ": serial / overlapped,
+        },
+    )
+
+
+def figure_chunk_sweep(
+    algorithm,
+    n: int,
+    preset=None,
+    chunk_counts: Sequence[int] = (),
+) -> FigureSeries:
+    """Overlapped cost and speedup at one input size across chunk counts.
+
+    Evaluates the overlapped cost model directly (no registered backend per
+    chunk count needed); the x-axis is the chunk count, with 1 the serial
+    baseline.  ``chunk_counts`` defaults to
+    :data:`repro.workloads.sweeps.STREAM_CHUNK_SWEEP`.
+    """
+    from repro.core.backends import overlapped_cost
+    from repro.core.presets import DEFAULT_PRESET
+    from repro.workloads.sweeps import STREAM_CHUNK_SWEEP
+
+    if isinstance(algorithm, str):
+        from repro.algorithms.registry import create
+
+        algorithm = create(algorithm)
+    preset = preset or DEFAULT_PRESET
+    counts = list(chunk_counts) or list(STREAM_CHUNK_SWEEP.sizes)
+    metrics = algorithm.metrics(int(n), preset.machine)
+    costs = np.array([
+        overlapped_cost(
+            metrics, preset.machine, preset.parameters, preset.occupancy,
+            chunks=int(c),
+        )
+        for c in counts
+    ])
+    serial = overlapped_cost(
+        metrics, preset.machine, preset.parameters, preset.occupancy, chunks=1
+    )
+    return FigureSeries(
+        figure="Overlap-chunks",
+        title=(
+            f"{algorithm.name}: overlapped cost vs chunk count at n={int(n)}"
+        ),
+        x_label="chunks",
+        y_label="cost / speedup",
+        sizes=[int(c) for c in counts],
+        series={"Async": costs, "Speedup Δ": serial / costs},
+    )
+
+
 def all_figures(comparisons) -> Dict[str, FigureSeries]:
     """Every subfigure of the evaluation, keyed ``3a`` ... ``6c``.
 

@@ -223,16 +223,21 @@ class Session:
         use_cache: bool = True,
         algorithm: Optional[GPUAlgorithm] = None,
     ) -> Result:
-        """Execute one spec (serially), serving repeats from the cache."""
-        if use_cache:
-            cached = self.lookup(spec)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
+        """Execute one spec (serially), serving repeats from the cache.
+
+        With ``use_cache=False`` the spec executes unconditionally, nothing
+        is stored, and the hit/miss counters are left untouched (matching
+        :meth:`run_many`).
+        """
+        if not use_cache:
+            return execute_spec(spec, algorithm=algorithm)
+        cached = self.lookup(spec)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
         self.cache_misses += 1
         result = execute_spec(spec, algorithm=algorithm)
-        if use_cache:
-            self._store(spec, result)
+        self._store(spec, result)
         return result
 
     def run_many(
@@ -245,12 +250,18 @@ class Session:
         first occurrence counts as a miss, the repeats as hits (they are
         served from that one execution), so ``cache_misses`` always equals
         the number of actual executions.
+
+        With ``use_cache=False`` caching is disabled entirely: every spec —
+        duplicates included — is executed, nothing is stored, and the
+        hit/miss counters are left untouched.
         """
         specs = list(specs)
+        if not use_cache:
+            return ResultSet(results=self.engine.map(specs))
         slots: List[Optional[Result]] = [None] * len(specs)
         pending: Dict[str, List[int]] = {}
         for index, spec in enumerate(specs):
-            cached = self.lookup(spec) if use_cache else None
+            cached = self.lookup(spec)
             if cached is not None:
                 self.cache_hits += 1
                 slots[index] = cached
@@ -267,8 +278,7 @@ class Session:
             for spec, result, indices in zip(
                 to_run, fresh, pending.values()
             ):
-                if use_cache:
-                    self._store(spec, result)
+                self._store(spec, result)
                 for index in indices:
                     slots[index] = result
         return ResultSet(results=[slot for slot in slots if slot is not None])

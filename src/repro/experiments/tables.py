@@ -104,6 +104,78 @@ def summary_statistics(comparisons) -> Dict[str, AlgorithmSummary]:
             for name, comparison in as_comparisons(comparisons).items()}
 
 
+@dataclass
+class OverlapSummary:
+    """Predicted benefit of compute/copy overlap for one algorithm's sweep."""
+
+    algorithm: str
+    serial_cost: float
+    overlapped_cost: float
+    mean_speedup: float
+    max_speedup: float
+
+    @property
+    def saving_share(self) -> float:
+        """Fraction of the serial cost recovered by overlap, aggregated."""
+        if self.serial_cost == 0:
+            return 0.0
+        return 1.0 - self.overlapped_cost / self.serial_cost
+
+
+def overlap_summary(
+    comparisons,
+    serial_backend: str = "atgpu",
+    async_backend: str = "atgpu-async",
+) -> Dict[str, OverlapSummary]:
+    """Overlap speedup Δ relative to the serial model, per algorithm.
+
+    Every comparison must carry prediction series for both backends (run its
+    specs with ``backends`` including ``atgpu-async``).  ``serial_cost`` and
+    ``overlapped_cost`` are sums over the sweep; the speedups are per-size
+    serial/overlapped ratios.
+    """
+    out: Dict[str, OverlapSummary] = {}
+    for name, comparison in as_comparisons(comparisons).items():
+        serial = comparison.prediction.series_for(serial_backend)
+        overlapped = comparison.prediction.series_for(async_backend)
+        speedups = serial / overlapped
+        out[name] = OverlapSummary(
+            algorithm=name,
+            serial_cost=float(serial.sum()),
+            overlapped_cost=float(overlapped.sum()),
+            mean_speedup=float(speedups.mean()),
+            max_speedup=float(speedups.max()),
+        )
+    return out
+
+
+def _render_table(rows) -> str:
+    """Align a header+rows list of string cells into a text table."""
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    )
+
+
+def render_overlap_summary(summaries: Dict[str, OverlapSummary]) -> str:
+    """Aligned text table of the overlap-speedup summary."""
+    rows = [[
+        "algorithm", "serial cost", "async cost", "mean Δ", "max Δ",
+        "saving share",
+    ]]
+    for name, s in summaries.items():
+        rows.append([
+            name,
+            f"{s.serial_cost:.4g}",
+            f"{s.overlapped_cost:.4g}",
+            f"{s.mean_speedup:.3f}",
+            f"{s.max_speedup:.3f}",
+            f"{s.saving_share:.1%}",
+        ])
+    return _render_table(rows)
+
+
 def render_summary(summaries: Dict[str, AlgorithmSummary]) -> str:
     """Aligned text table of measured-vs-paper summary statistics."""
     header = [
@@ -124,8 +196,4 @@ def render_summary(summaries: Dict[str, AlgorithmSummary]) -> str:
             "-" if s.paper_swgpu_capture is None else f"{s.paper_swgpu_capture:.2f}",
             "yes" if s.atgpu_tracks_total_better else "no",
         ])
-    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
-    return "\n".join(
-        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
-        for row in rows
-    )
+    return _render_table(rows)

@@ -26,16 +26,16 @@ def analyse_round(program: Program, round_: Round,
     builder = MetricsBuilder(label=round_.label or None)
     builder.add_operations(round_.time(params))
     builder.add_io(round_.io_blocks(params))
-    inward = round_.inward_words(params)
-    outward = round_.outward_words(params)
-    if inward:
-        builder.add_inward(inward, transactions=round_.inward_transactions)
-    elif round_.inward_transactions:
-        builder.add_inward(0.0, transactions=round_.inward_transactions)
-    if outward:
-        builder.add_outward(outward, transactions=round_.outward_transactions)
-    elif round_.outward_transactions:
-        builder.add_outward(0.0, transactions=round_.outward_transactions)
+    # Transactions follow the cost model's marker rule: a W/R statement
+    # moving zero words at these parameters is free, not a transaction.
+    builder.add_inward(
+        round_.inward_words(params),
+        transactions=round_.charged_inward_transactions(params),
+    )
+    builder.add_outward(
+        round_.outward_words(params),
+        transactions=round_.charged_outward_transactions(params),
+    )
     builder.use_global(program.global_words())
     builder.use_shared(round_.shared_words_per_block())
     builder.set_thread_blocks(round_.thread_blocks(params))

@@ -60,6 +60,16 @@ class Round:
         """``Ô_i``."""
         return len(self.transfers_out)
 
+    def charged_inward_transactions(self, params: Dict[str, float]) -> int:
+        """``Î_i`` as charged by the cost model: statements moving no words
+        at these parameters are markers, not transactions (matching
+        :class:`repro.core.transfer.TransferEvent` semantics)."""
+        return sum(1 for t in self.transfers_in if t.word_count(params) > 0)
+
+    def charged_outward_transactions(self, params: Dict[str, float]) -> int:
+        """``Ô_i`` with zero-word marker statements excluded."""
+        return sum(1 for t in self.transfers_out if t.word_count(params) > 0)
+
     def time(self, params: Dict[str, float]) -> float:
         """``t_i`` -- operations of the round's kernel launches."""
         return sum(launch.time(params) for launch in self.launches)

@@ -4,8 +4,10 @@ The simulator realises the ATGPU architecture as a machine that actually
 runs kernels: warp-lockstep thread blocks, banked shared memory with
 bank-conflict detection, block-granular global memory with coalescing, a
 block scheduler with the occupancy rule of Expression (2), a cycle-accounting
-timing engine with latency hiding and bandwidth limits, and a PCIe-like
-host↔device transfer engine.  It produces the "observed" kernel and total
+timing engine with latency hiding and bandwidth limits, a PCIe-like
+host↔device transfer engine, and asynchronous streams with dedicated
+copy/compute engines for modelling compute/copy overlap.  It produces the
+"observed" kernel and total
 running times against which the analytical ATGPU/SWGPU predictions are
 compared, playing the role of the GTX 650 in the paper's evaluation.
 """
@@ -31,6 +33,13 @@ from repro.simulator.memory import (
     coalesced_transactions,
 )
 from repro.simulator.scheduler import BlockScheduler, SchedulePlan
+from repro.simulator.streams import (
+    Stream,
+    StreamOp,
+    StreamOpKind,
+    StreamTimeline,
+    pipeline_makespan,
+)
 from repro.simulator.timing import KernelTiming, TimingEngine
 from repro.simulator.trace import (
     BlockTrace,
@@ -65,6 +74,11 @@ __all__ = [
     "coalesced_transactions",
     "BlockScheduler",
     "SchedulePlan",
+    "Stream",
+    "StreamOp",
+    "StreamOpKind",
+    "StreamTimeline",
+    "pipeline_makespan",
     "KernelTiming",
     "TimingEngine",
     "BlockTrace",

@@ -15,8 +15,9 @@ one SM, three candidate bounds and takes their maximum:
 * **issue bound** -- every warp-instruction of every resident block must be
   issued by the SM's schedulers: ``ℓ · (compute + shared access cycles)``,
 * **latency bound** -- a single block's chain of global transactions, with
-  ``memory_parallelism`` outstanding requests overlapping:
-  ``transactions/block · λ / MLP``,
+  ``memory_parallelism`` outstanding requests overlapping, plus the block's
+  own instruction issue (which cannot hide behind its own memory stalls):
+  ``transactions/block · λ / MLP + mean_issue``,
 * **bandwidth bound** -- the wave's total global traffic cannot exceed the
   device bandwidth share of one SM:
   ``ℓ · words/block / (BW_words_per_cycle / num_SMs)``.

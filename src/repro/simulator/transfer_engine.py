@@ -17,9 +17,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+import numbers
+
 from repro.core.transfer import TransferDirection
 from repro.simulator.config import WORD_BYTES, DeviceConfig
 from repro.utils.validation import ensure_non_negative
+
+
+def validate_word_count(words, name: str = "words") -> int:
+    """Validate a transfer word count and return it as an ``int``.
+
+    Transfers move whole words; a fractional count would make the stored
+    record (integer words) disagree with a duration computed from the raw
+    value, so anything non-integral is rejected rather than truncated.
+    Integral floats (e.g. ``4.0`` from size arithmetic) are accepted.
+    """
+    if isinstance(words, bool) or not isinstance(words, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(words).__name__}")
+    as_float = float(words)
+    if as_float != int(as_float):
+        raise ValueError(
+            f"{name} must be a whole number of words, got {words!r}"
+        )
+    ensure_non_negative(as_float, name)
+    return int(as_float)
 
 
 @dataclass(frozen=True)
@@ -58,10 +79,16 @@ class TransferEngine:
     def duration(
         self, words: int, direction: TransferDirection, pinned: bool = False
     ) -> float:
-        """Duration in seconds of a transfer of ``words`` words."""
-        ensure_non_negative(words, "words")
+        """Duration in seconds of a transfer of ``words`` whole words.
+
+        A zero-word transfer is a free marker — no DMA is set up and no
+        latency is paid — matching the cost model's zero-word-event
+        semantics (:class:`repro.core.transfer.TransferEvent`), so the
+        simulator and the Boyer model agree operation for operation.
+        """
+        words = validate_word_count(words)
         if words == 0:
-            return self.config.transfer_latency_s
+            return 0.0
         if direction is TransferDirection.HOST_TO_DEVICE:
             bandwidth = self.config.h2d_bandwidth_bytes_per_s
         elif direction is TransferDirection.DEVICE_TO_HOST:
@@ -80,11 +107,19 @@ class TransferEngine:
         pinned: bool = False,
         label: str = "",
     ) -> TransferRecord:
-        """Perform (account for) a transfer and append it to the record list."""
+        """Perform (account for) a transfer and append it to the record list.
+
+        ``words`` must be a whole number (see :func:`validate_word_count`):
+        the record stores an integer count, so the duration is computed from
+        the same validated value to keep the recorded
+        :attr:`TransferRecord.effective_bandwidth_bytes_per_s` and
+        :meth:`total_words` consistent with the timing.
+        """
+        words = validate_word_count(words)
         duration = self.duration(words, direction, pinned=pinned)
         record = TransferRecord(
             direction=direction,
-            words=int(words),
+            words=words,
             duration_s=duration,
             pinned=pinned,
             label=label,
@@ -107,10 +142,15 @@ class TransferEngine:
         )
 
     def transaction_count(self, direction: TransferDirection = None) -> int:
-        """Number of transfer transactions performed."""
+        """Number of transfer transactions performed.
+
+        Zero-word records are free markers, not transactions (matching
+        :class:`repro.core.transfer.TransferEvent` and
+        :class:`~repro.core.transfer.TransferPlan`), so they are excluded.
+        """
         return sum(
             1 for r in self.records
-            if direction is None or r.direction is direction
+            if r.words > 0 and (direction is None or r.direction is direction)
         )
 
     def implied_boyer_parameters(self) -> Tuple[float, float]:

@@ -14,6 +14,7 @@ from repro.workloads.sweeps import (
     REDUCTION_SMALL,
     REDUCTION_SWEEP,
     SMALL_SWEEPS,
+    STREAM_CHUNK_SWEEP,
     Sweep,
     VECTOR_ADDITION_SMALL,
     VECTOR_ADDITION_SWEEP,
@@ -32,6 +33,7 @@ __all__ = [
     "REDUCTION_SMALL",
     "REDUCTION_SWEEP",
     "SMALL_SWEEPS",
+    "STREAM_CHUNK_SWEEP",
     "Sweep",
     "VECTOR_ADDITION_SMALL",
     "VECTOR_ADDITION_SWEEP",

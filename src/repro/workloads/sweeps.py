@@ -69,6 +69,15 @@ MATRIX_MULTIPLICATION_SMALL = Sweep(
     description="reduced matrix-multiplication sweep for quick runs",
 )
 
+#: Chunk counts explored by the compute/copy-overlap experiments: 1 is the
+#: serial baseline, 2 the classic double buffer, larger values deepen the
+#: pipeline (diminishing returns once the bottleneck stage dominates).
+STREAM_CHUNK_SWEEP = Sweep(
+    name="stream_chunks",
+    sizes=[1, 2, 4, 8, 16],
+    description="chunk counts for the async-stream overlap experiments",
+)
+
 #: Sweeps keyed by the algorithm registry name, paper-scale and reduced.
 PAPER_SWEEPS = {
     "vector_addition": VECTOR_ADDITION_SWEEP,

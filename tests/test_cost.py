@@ -76,6 +76,46 @@ class TestBoyerTransferModel:
         assert model.cost(words + 1, transactions) >= model.cost(words, transactions)
 
 
+class TestTransferEvents:
+    def test_positive_word_event_charges_one_transaction(self):
+        model = BoyerTransferModel(alpha=1e-4, beta=1e-6)
+        events = [TransferEvent(TransferDirection.HOST_TO_DEVICE, 100)]
+        assert model.events_cost(events) == pytest.approx(1e-4 + 100 * 1e-6)
+
+    def test_zero_word_events_are_free_markers(self):
+        model = BoyerTransferModel(alpha=1e-4, beta=1e-6)
+        marker = TransferEvent(TransferDirection.HOST_TO_DEVICE, 0)
+        assert marker.is_marker
+        assert model.events_cost([marker]) == 0.0
+        # Markers do not change the cost of a mixed list either.
+        real = TransferEvent(TransferDirection.DEVICE_TO_HOST, 50)
+        assert model.events_cost([marker, real]) == model.events_cost([real])
+
+    def test_events_cost_agrees_with_plan_transactions(self):
+        model = BoyerTransferModel(alpha=1e-4, beta=1e-6)
+        plan = TransferPlan.from_events([
+            TransferEvent(TransferDirection.HOST_TO_DEVICE, 100, "a"),
+            TransferEvent(TransferDirection.HOST_TO_DEVICE, 0, "marker"),
+            TransferEvent(TransferDirection.DEVICE_TO_HOST, 50, "c"),
+        ])
+        from_counts = model.cost(
+            plan.inward_words, plan.inward_transactions
+        ) + model.cost(plan.outward_words, plan.outward_transactions)
+        assert model.events_cost(plan.events) == pytest.approx(from_counts)
+
+    def test_plan_transactions_exclude_markers(self):
+        plan = TransferPlan.from_events([
+            TransferEvent(TransferDirection.HOST_TO_DEVICE, 100),
+            TransferEvent(TransferDirection.HOST_TO_DEVICE, 0),
+            TransferEvent(TransferDirection.DEVICE_TO_HOST, 0),
+        ])
+        assert plan.inward_transactions == 1
+        assert plan.outward_transactions == 0
+        # Word totals still include every event (markers add nothing).
+        assert plan.inward_words == 100
+        assert plan.outward_words == 0
+
+
 class TestTransferPlan:
     def test_plan_aggregates(self):
         plan = TransferPlan.from_events([

@@ -144,6 +144,27 @@ class TestValidation:
 
 
 class TestAnalyzer:
+    def test_zero_word_transfer_statements_are_markers(self):
+        """A W statement moving no words at these parameters is not charged
+        a transaction, matching the core model's zero-word-event rule."""
+        program = Program(
+            name="markers",
+            variables=(host_var("A", 4), host_var("B", 4),
+                       global_var("a", 4), shared_var("_s", 4)),
+            rounds=(Round(
+                transfers_in=(
+                    TransferIn("a", "A", words=4),
+                    TransferIn("a", "B", words=0),
+                ),
+                launches=(KernelLaunch(1, (GlobalToShared("_s", "a"),)),),
+                transfers_out=(TransferOut("A", "a", words=0),),
+            ),),
+        )
+        metrics = analyse_program(program)
+        assert metrics.total_inward_words == 4
+        assert metrics[0].inward_transactions == 1
+        assert metrics[0].outward_transactions == 0
+
     def test_vector_addition_analysis_matches_hand_counts(self, machine):
         n = 6400
         program = VectorAddition().build_pseudocode(n, machine)

@@ -260,6 +260,39 @@ class TestSessionExecution:
         assert (session.cache_hits, session.cache_misses) == (1, 1)
         assert session.cache_size == 1
 
+    def test_run_many_without_cache_re_executes_duplicates(self):
+        """With use_cache=False duplicates must not be deduplicated and the
+        hit/miss counters must stay untouched."""
+        session = Session()
+        executed = []
+
+        class CountingEngine:
+            name = "counting"
+
+            def map(self, specs):
+                from repro.experiments.session import execute_spec
+
+                executed.extend(specs)
+                return [execute_spec(spec) for spec in specs]
+
+        session.engine = CountingEngine()
+        results = session.run_many(
+            [tiny_spec(), tiny_spec()], use_cache=False
+        )
+        assert len(results) == 2
+        assert len(executed) == 2
+        assert results[0] is not results[1]
+        assert (session.cache_hits, session.cache_misses) == (0, 0)
+        # Nothing was stored either: a later cached run still misses.
+        assert session.cache_size == 0
+        # run() follows the same contract: uncached runs leave the counters
+        # alone and store nothing.
+        session.run(tiny_spec(), use_cache=False)
+        assert (session.cache_hits, session.cache_misses) == (0, 0)
+        assert session.cache_size == 0
+        session.run(tiny_spec())
+        assert (session.cache_hits, session.cache_misses) == (0, 1)
+
     def test_disk_cache_survives_sessions(self, tmp_path):
         spec = tiny_spec(seed=5)
         writer = Session(cache_dir=tmp_path)

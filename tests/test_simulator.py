@@ -155,6 +155,50 @@ class TestTransferEngine:
         assert alpha == tiny_config.transfer_latency_s
         assert beta == pytest.approx(4 / tiny_config.h2d_bandwidth_bytes_per_s)
 
+    def test_fractional_word_counts_are_rejected(self, tiny_config):
+        engine = TransferEngine(tiny_config)
+        with pytest.raises(ValueError):
+            engine.transfer(1000.5, TransferDirection.HOST_TO_DEVICE)
+        with pytest.raises(ValueError):
+            engine.duration(0.25, TransferDirection.DEVICE_TO_HOST)
+        with pytest.raises(TypeError):
+            engine.transfer("12", TransferDirection.HOST_TO_DEVICE)
+        # Nothing is recorded by a rejected transfer.
+        assert engine.records == []
+
+    def test_integral_floats_and_numpy_ints_are_accepted(self, tiny_config):
+        import numpy as np
+
+        engine = TransferEngine(tiny_config)
+        from_float = engine.transfer(100.0, TransferDirection.HOST_TO_DEVICE)
+        from_numpy = engine.transfer(
+            np.int64(100), TransferDirection.HOST_TO_DEVICE
+        )
+        assert from_float.words == from_numpy.words == 100
+        assert isinstance(from_float.words, int)
+        assert from_float.duration_s == from_numpy.duration_s
+
+    def test_zero_word_transfer_is_a_free_marker(self, tiny_config):
+        """Matches the cost model: zero-word events cost nothing, not α."""
+        engine = TransferEngine(tiny_config)
+        assert engine.duration(0, TransferDirection.HOST_TO_DEVICE) == 0.0
+        record = engine.transfer(0, TransferDirection.DEVICE_TO_HOST)
+        assert record.duration_s == 0.0
+        assert record.words == 0
+
+    def test_record_and_duration_agree(self, tiny_config):
+        """The recorded word count must be the one the duration was computed
+        from, so the record's effective bandwidth is consistent."""
+        engine = TransferEngine(tiny_config)
+        record = engine.transfer(2000, TransferDirection.HOST_TO_DEVICE)
+        assert record.duration_s == engine.duration(
+            record.words, TransferDirection.HOST_TO_DEVICE
+        )
+        assert record.effective_bandwidth_bytes_per_s == pytest.approx(
+            record.bytes / record.duration_s
+        )
+        assert engine.total_words() == 2000
+
 
 class TestScheduler:
     def test_plan_matches_expression_two(self, tiny_config):
@@ -176,6 +220,20 @@ class TestScheduler:
     def test_max_resident_blocks(self, tiny_config):
         scheduler = BlockScheduler(tiny_config)
         assert scheduler.max_resident_blocks(0) == tiny_config.num_sms * tiny_config.max_blocks_per_sm
+
+    def test_ragged_last_wave_invariants_across_grid_sizes(self, tiny_config):
+        """Sweep grid sizes and footprints: the final (possibly ragged) wave
+        always runs at least one block, never more than a full wave, and the
+        average occupancy stays within (0, 1]."""
+        scheduler = BlockScheduler(tiny_config)
+        for shared_words in (0, 16, 64, 128, 256):
+            for num_blocks in range(1, 70):
+                plan = scheduler.plan(num_blocks, shared_words)
+                assert 1 <= plan.blocks_in_last_wave <= plan.concurrent_blocks
+                assert 0.0 < plan.occupancy <= 1.0
+                # The waves account exactly for the grid.
+                full_waves = (plan.waves - 1) * plan.concurrent_blocks
+                assert full_waves + plan.blocks_in_last_wave == num_blocks
 
 
 class TestTimingEngine:
