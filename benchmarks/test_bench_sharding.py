@@ -1,0 +1,113 @@
+"""Benchmarks for the multi-GPU sharding (scaling) experiments.
+
+Prints the serial-vs-sharded predicted cost curves, the scaling-speedup
+summary table, a shard-count sweep, and a simulated multi-device run — the
+sharding analogues of the paper's figures, beyond its evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import VectorAddition
+from repro.experiments import (
+    ExperimentSpec,
+    Session,
+    figure_scaling,
+    figure_shard_sweep,
+    render_figure,
+    render_scaling_summary,
+    scaling_summary,
+)
+from repro.simulator import DeviceConfig
+
+#: Backends evaluated by the sharding benchmarks (serial trio + sharded).
+SHARDING_BACKENDS = ("atgpu", "swgpu", "perfect", "atgpu-multi")
+
+
+@pytest.fixture(scope="module")
+def sharding_results(scale):
+    """Serial + sharded predictions for the two shardable algorithms."""
+    session = Session()
+    specs = [
+        ExperimentSpec(name, scale=scale, backends=SHARDING_BACKENDS)
+        for name in ("vector_addition", "reduction")
+    ]
+    return session.run_many(specs)
+
+
+def test_scaling_prediction_vector_addition(benchmark, sharding_results):
+    """Sharded prediction strictly beats serial on the shardable sweep."""
+    result = sharding_results.get("vector_addition")
+
+    def build():
+        return figure_scaling(result)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    assert np.all(series.series["Speedup Δ"] > 1.0)
+
+
+def test_scaling_summary_table(benchmark, sharding_results):
+    """The scaling Δ summary table: two devices never lose."""
+
+    def build():
+        return scaling_summary(sharding_results)
+
+    summaries = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_scaling_summary(summaries))
+    assert summaries["vector_addition"].mean_speedup > 1.5
+    assert summaries["reduction"].mean_speedup >= 1.0
+
+
+def test_shard_count_sweep(benchmark, sharding_results):
+    """Speedup across device counts: 1 is serial, then near-linear gains."""
+    sizes = sharding_results.get("vector_addition").sizes
+
+    def build():
+        return figure_shard_sweep("vector_addition", sizes[-1])
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    speedups = series.series["Speedup Δ"]
+    assert speedups[0] == pytest.approx(1.0)
+    assert speedups[-1] > speedups[0]
+
+
+def test_shard_count_sweep_contended(benchmark, sharding_results):
+    """The same sweep on a fully shared interconnect scales much worse."""
+    sizes = sharding_results.get("vector_addition").sizes
+
+    def build():
+        return figure_shard_sweep("vector_addition", sizes[-1], contention=1.0)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_figure(series))
+    free = figure_shard_sweep("vector_addition", sizes[-1], contention=0.0)
+    assert series.series["Sharded"][-1] > free.series["Sharded"][-1]
+
+
+def test_simulated_sharded_run(benchmark, scale):
+    """The device-pool simulator agrees that sharding wins."""
+    algorithm = VectorAddition()
+    n = 200_000 if scale == "small" else 2_000_000
+
+    def run():
+        return algorithm.observe_sharded(
+            n, config=DeviceConfig.gtx650(), devices=4
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"n={n}: serial {result.serial_time_s * 1e3:.3f} ms, "
+        f"sharded {result.makespan_s * 1e3:.3f} ms over "
+        f"{result.device_count} devices, "
+        f"speedup {result.sharding_speedup:.3f}x"
+    )
+    assert result.makespan_s < result.serial_time_s

@@ -11,6 +11,7 @@ from repro.algorithms.base import (
     GPUAlgorithm,
     ObservationRecord,
     RunResult,
+    ShardedRunResult,
     StreamedRunResult,
     chunk_bounds,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "GPUAlgorithm",
     "ObservationRecord",
     "RunResult",
+    "ShardedRunResult",
     "StreamedRunResult",
     "chunk_bounds",
     "BlockHistogramKernel",

@@ -33,6 +33,7 @@ from repro.core.presets import DEFAULT_PRESET, GPUPreset
 from repro.pseudocode.program import Program
 from repro.simulator.config import DeviceConfig
 from repro.simulator.device import GPUDevice
+from repro.simulator.device_pool import DevicePool
 from repro.simulator.streams import StreamTimeline
 from repro.utils.validation import ensure_positive_int
 
@@ -91,6 +92,42 @@ class StreamedRunResult:
         if self.makespan_s == 0:
             return 1.0
         return self.serial_time_s / self.makespan_s
+
+
+@dataclass
+class ShardedRunResult:
+    """Outcome of a multi-device (sharded) algorithm run.
+
+    All timing views derive from the attached :class:`DevicePool`:
+    :attr:`makespan_s` is the straggler device's completion time and
+    :attr:`serial_time_s` is what the very same operations would cost back
+    to back on one device, so their ratio isolates the benefit of sharding
+    across the pool.
+    """
+
+    outputs: Dict[str, np.ndarray]
+    device_count: int
+    pool: DevicePool
+
+    @property
+    def makespan_s(self) -> float:
+        """Pool total time (the straggler device's completion)."""
+        return self.pool.makespan_s
+
+    @property
+    def serial_time_s(self) -> float:
+        """The same operations executed back to back on one device."""
+        return self.pool.serial_time_s
+
+    @property
+    def device_makespans(self) -> List[float]:
+        """Per-device completion times."""
+        return list(self.pool.device_makespans())
+
+    @property
+    def sharding_speedup(self) -> float:
+        """Serial-over-sharded time ratio (1.0 = no benefit)."""
+        return self.pool.sharding_speedup
 
 
 @dataclass
@@ -234,6 +271,34 @@ class GPUAlgorithm(abc.ABC):
         """Whether :meth:`run_streamed` is implemented for this algorithm."""
         return type(self).run_streamed is not GPUAlgorithm.run_streamed
 
+    def run_sharded(
+        self,
+        device: GPUDevice,
+        inputs: Dict[str, np.ndarray],
+        devices: int = 2,
+        contention: float = 0.0,
+        pinned: bool = False,
+    ) -> ShardedRunResult:
+        """Sharded execution across a multi-device pool.
+
+        Splits the workload into ``devices`` shards, schedules each shard's
+        H2D copies, kernels and D2H copies on its own device of a
+        :class:`~repro.simulator.device_pool.DevicePool` (one shared host
+        link with the given ``contention``), and reports the straggler
+        makespan alongside the serial single-device sum.  ``device``
+        supplies the per-device configuration and the kernel/transfer
+        engines used for durations.  Not every algorithm decomposes this
+        way; the base implementation raises.
+        """
+        raise NotImplementedError(
+            f"algorithm {self.name!r} has no sharded execution mode"
+        )
+
+    @property
+    def supports_sharding(self) -> bool:
+        """Whether :meth:`run_sharded` is implemented for this algorithm."""
+        return type(self).run_sharded is not GPUAlgorithm.run_sharded
+
     def observe_streamed(
         self,
         n: int,
@@ -246,6 +311,23 @@ class GPUAlgorithm(abc.ABC):
         device = GPUDevice(config or DeviceConfig.gtx650())
         inputs = self.generate_input(n, seed=seed)
         return self.run_streamed(device, inputs, chunks=chunks, pinned=pinned)
+
+    def observe_sharded(
+        self,
+        n: int,
+        config: Optional[DeviceConfig] = None,
+        devices: int = 2,
+        contention: float = 0.0,
+        seed: int = 0,
+        pinned: bool = False,
+    ) -> ShardedRunResult:
+        """Run the sharded mode at size ``n`` on a fresh device pool."""
+        device = GPUDevice(config or DeviceConfig.gtx650())
+        inputs = self.generate_input(n, seed=seed)
+        return self.run_sharded(
+            device, inputs, devices=devices, contention=contention,
+            pinned=pinned,
+        )
 
     def observe(
         self,

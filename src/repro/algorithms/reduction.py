@@ -30,6 +30,7 @@ import numpy as np
 from repro.algorithms.base import (
     GPUAlgorithm,
     RunResult,
+    ShardedRunResult,
     StreamedRunResult,
     chunk_bounds,
 )
@@ -50,9 +51,11 @@ from repro.pseudocode.ast_nodes import (
 from repro.pseudocode.program import Program, Round
 from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
+from repro.simulator.device_pool import DevicePool
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
 from repro.simulator.streams import StreamOpKind, StreamTimeline
+from repro.simulator.timing import KernelTiming
 from repro.utils.validation import ensure_positive_int
 
 
@@ -344,4 +347,68 @@ class Reduction(GPUAlgorithm):
             outputs={"Ans": answer},
             chunk_count=min(chunks, n),
             timeline=timeline,
+        )
+
+    def run_sharded(
+        self,
+        device: GPUDevice,
+        inputs: Dict[str, np.ndarray],
+        devices: int = 2,
+        contention: float = 0.0,
+        pinned: bool = False,
+    ) -> ShardedRunResult:
+        """Reduction sharded across a multi-device pool.
+
+        Each device receives a contiguous shard of the input, runs the full
+        local reduction tree on it (one kernel + sync per level, exactly as
+        :meth:`run` does for the whole array), and returns its single-word
+        partial sum; the host adds the ``P`` partials.  The dominant H2D
+        copy shards ``P`` ways, so scaling follows the link model: near
+        linear on independent links, flat on a fully contended one.
+        """
+        a = np.asarray(inputs["A"])
+        n = a.size
+        b = device.config.warp_width
+        bounds = chunk_bounds(n, devices)
+        device.reset_timers()
+        device.allocate("a", n, dtype=a.dtype).data[:] = a.reshape(-1)
+        device.allocate(
+            "partials", max(1, math.ceil(n / b)), dtype=a.dtype
+        )
+        # Sampled trace blocks really execute against the shared arrays, so
+        # take the answer before any tracing mutates them.
+        answer = np.array([device.array("a").data[:n].sum()], dtype=a.dtype)
+
+        pool = DevicePool(devices, config=device.config, contention=contention)
+        # Equal-sized shards run identical kernel ladders; the timing is
+        # deterministic in the level size, so memoise it across devices.
+        timings: Dict[int, KernelTiming] = {}
+        for index, (lo, hi) in enumerate(bounds):
+            m = hi - lo
+            pool.add_transfer(
+                index, m, TransferDirection.HOST_TO_DEVICE,
+                pinned=pinned, label=f"a[{lo}:{hi}]",
+            )
+            src, dst = "a", "partials"
+            for size in reduction_rounds(m, b):
+                if size not in timings:
+                    kernel = ReductionRoundKernel(size, b, src=src, dst=dst)
+                    timings[size] = self._timed_kernel(device, kernel)
+                pool.add_kernel(index, timings[size])
+                pool.add_host(
+                    index, device.config.sync_overhead_s,
+                    name=f"reduction level ({size} values)",
+                )
+                src, dst = dst, src
+            pool.add_transfer(
+                index, 1, TransferDirection.DEVICE_TO_HOST,
+                pinned=pinned, label=f"partial[{index}]",
+            )
+
+        for name in ("a", "partials"):
+            device.free(name)
+        return ShardedRunResult(
+            outputs={"Ans": answer},
+            device_count=devices,
+            pool=pool,
         )

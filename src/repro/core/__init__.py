@@ -13,6 +13,8 @@ from repro.core.backends import (
     CostModel,
     DEFAULT_ASYNC_CHUNKS,
     DEFAULT_BACKENDS,
+    DEFAULT_SHARD_CONTENTION,
+    DEFAULT_SHARD_DEVICES,
     FunctionBackend,
     backend_label,
     backend_names,
@@ -20,6 +22,7 @@ from repro.core.backends import (
     get_backend,
     make_async_backend,
     make_backend,
+    make_sharded_backend,
     overlapped_cost,
     register_backend,
     unregister_backend,
@@ -54,6 +57,13 @@ from repro.core.occupancy import (
     blocks_per_multiprocessor,
     wave_count,
 )
+from repro.core.sharding import (
+    ShardedCostModel,
+    ShardedTransferModel,
+    largest_shard,
+    shard_sizes,
+    sharded_gpu_cost,
+)
 from repro.core.prediction import (
     PredictionComparison,
     SweepObservation,
@@ -87,6 +97,8 @@ __all__ = [
     "CostModel",
     "DEFAULT_ASYNC_CHUNKS",
     "DEFAULT_BACKENDS",
+    "DEFAULT_SHARD_CONTENTION",
+    "DEFAULT_SHARD_DEVICES",
     "FunctionBackend",
     "backend_label",
     "backend_names",
@@ -94,6 +106,7 @@ __all__ = [
     "get_backend",
     "make_async_backend",
     "make_backend",
+    "make_sharded_backend",
     "overlapped_cost",
     "register_backend",
     "unregister_backend",
@@ -122,6 +135,11 @@ __all__ = [
     "OccupancyModel",
     "blocks_per_multiprocessor",
     "wave_count",
+    "ShardedCostModel",
+    "ShardedTransferModel",
+    "largest_shard",
+    "shard_sizes",
+    "sharded_gpu_cost",
     "PredictionComparison",
     "SweepObservation",
     "SweepPrediction",

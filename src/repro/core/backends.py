@@ -27,6 +27,12 @@ Built-in backends (registered on import):
                   :class:`~repro.core.transfer.OverlappedTransferModel`
                   pipeline makespan); :func:`make_async_backend` builds
                   variants with other chunk counts
+``atgpu-multi``   Expression (2) sharded across several devices: each
+                  round's words and thread blocks partition over ``P``
+                  GPUs and the round is charged the straggler device
+                  time (the :class:`~repro.core.sharding.ShardedCostModel`);
+                  :func:`make_sharded_backend` builds variants with other
+                  device counts and interconnect-contention factors
 ==============  ========================================================
 
 New backends register through :func:`register_backend`; a convenient way to
@@ -44,6 +50,7 @@ from repro.core.cost import ATGPUCostModel, CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
 from repro.core.occupancy import OccupancyModel
+from repro.core.sharding import sharded_gpu_cost
 from repro.core.transfer import OverlappedTransferModel
 
 #: Signature of a backend's evaluation function.
@@ -252,6 +259,58 @@ def make_async_backend(
     )
 
 
+#: Device count of the default multi-GPU (sharded) backend.
+DEFAULT_SHARD_DEVICES = 2
+#: Interconnect-contention factor of the default sharded backend
+#: (independent per-device links).
+DEFAULT_SHARD_CONTENTION = 0.0
+
+
+def make_sharded_backend(
+    devices: int = DEFAULT_SHARD_DEVICES,
+    contention: float = DEFAULT_SHARD_CONTENTION,
+    name: str = "",
+    label: str = "",
+) -> FunctionBackend:
+    """Build a multi-device sharded backend (Expression 2 over ``P`` GPUs).
+
+    The default instance is registered as ``atgpu-multi`` (two devices,
+    independent links); other pool shapes register alongside it, e.g.
+    ``register_backend(make_sharded_backend(4))`` yields ``atgpu-multi4``
+    and ``make_sharded_backend(4, contention=0.5)`` yields
+    ``atgpu-multi4-c0.5``.  With ``devices=1`` the cost is bit-for-bit the
+    serial ``atgpu`` backend's.
+    """
+
+    def _cost(metrics, machine, parameters, occupancy) -> float:
+        return sharded_gpu_cost(
+            metrics, machine, parameters, occupancy,
+            devices=devices, contention=contention,
+        )
+
+    default = (
+        devices == DEFAULT_SHARD_DEVICES
+        and contention == DEFAULT_SHARD_CONTENTION
+    )
+    if not name:
+        name = "atgpu-multi" if default else f"atgpu-multi{devices}"
+        if contention != DEFAULT_SHARD_CONTENTION:
+            name += f"-c{contention:g}"
+    if not label:
+        label = (
+            "ATGPU (multi)" if default
+            else f"ATGPU (multi, {devices} devices"
+            + (f", contention {contention:g})" if contention else ")")
+        )
+    return make_backend(
+        name,
+        label,
+        _cost,
+        f"Expression (2) sharded across {devices} devices (straggler time, "
+        f"interconnect contention {contention:g})",
+    )
+
+
 ATGPU_BACKEND = register_backend(make_backend(
     "atgpu", "ATGPU", _atgpu_cost,
     "GPU-cost of Expression (2): transfer + occupancy-scaled kernel cost",
@@ -270,6 +329,7 @@ AGPU_BACKEND = register_backend(make_backend(
     "function)",
 ))
 ATGPU_ASYNC_BACKEND = register_backend(make_async_backend())
+ATGPU_MULTI_BACKEND = register_backend(make_sharded_backend())
 
 #: The backends evaluated by default throughout the package.
 DEFAULT_BACKENDS: Tuple[str, ...] = ("atgpu", "swgpu", "perfect")

@@ -50,23 +50,58 @@ class CalibrationResult:
         return float(feats @ coefs)
 
 
+def _active_set_nnls(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """SciPy-free non-negative least squares by active-set refitting.
+
+    Merely clamping negative unconstrained-lstsq coefficients to zero leaves
+    the *remaining* coefficients fitted as if the clamped ones still carried
+    their negative weight, biasing every parameter.  Instead, repeatedly drop
+    the most-negative coefficient from the active set and refit the
+    least-squares problem on the surviving columns until every active
+    coefficient is non-negative (the deletion half of Lawson–Hanson NNLS,
+    which is exact whenever the dropped columns do not belong in the optimal
+    support — the case for the well-conditioned physical fits here).
+    """
+    columns = design.shape[1]
+    active = list(range(columns))
+    solution = np.zeros(columns)
+    while active:
+        sub, *_ = np.linalg.lstsq(design[:, active], target, rcond=None)
+        most_negative = int(np.argmin(sub))
+        if sub[most_negative] >= 0.0:
+            solution[active] = sub
+            break
+        active.pop(most_negative)
+    return np.clip(solution, 0.0, None)
+
+
 def _nnls(design: np.ndarray, target: np.ndarray) -> np.ndarray:
-    """Non-negative least squares with a SciPy fallback to projected lstsq."""
+    """Non-negative least squares with a SciPy fallback to active-set lstsq."""
     try:
         from scipy.optimize import nnls as scipy_nnls
 
         solution, _ = scipy_nnls(design, target)
         return solution
-    except Exception:  # pragma: no cover - exercised only without SciPy
-        solution, *_ = np.linalg.lstsq(design, target, rcond=None)
-        return np.clip(solution, 0.0, None)
+    except Exception:
+        return _active_set_nnls(design, target)
 
 
 def _r_squared(target: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination, defined for zero-variance targets.
+
+    A constant target has no variance to explain: the ratio ``ss_res/ss_tot``
+    would divide by zero (or, for a *nearly* constant target, blow up on
+    rounding noise), so such targets score 1.0 when reproduced exactly and
+    0.0 otherwise.  The variance floor is the squared representation noise
+    of the target's magnitude (``n·(eps·max|target|)²``) — any genuinely
+    varying target sits far above it.
+    """
     ss_res = float(np.sum((target - predicted) ** 2))
     ss_tot = float(np.sum((target - target.mean()) ** 2))
-    if ss_tot == 0.0:
-        return 1.0 if ss_res == 0.0 else 0.0
+    scale = float(np.max(np.abs(target))) if target.size else 0.0
+    noise = target.size * (np.finfo(float).eps * scale) ** 2
+    if ss_tot <= noise:
+        return 1.0 if ss_res <= noise else 0.0
     return 1.0 - ss_res / ss_tot
 
 

@@ -38,7 +38,17 @@ def blocks_per_multiprocessor(
     ensure_positive_int(hardware_block_limit, "hardware_block_limit")
     if shared_words_per_block == 0:
         return hardware_block_limit
-    by_memory = int(shared_memory_capacity // shared_words_per_block)
+    # With fractional ``m`` the division is inexact in binary (e.g.
+    # M=10, m=0.1 gives 99.999...), and a bare floor would lose a resident
+    # block the MP really has room for.  Snap to the nearest integer only
+    # when the ratio is within a relative tolerance of it — a blanket
+    # multiplicative epsilon would instead *overcount* huge exact ratios.
+    ratio = shared_memory_capacity / shared_words_per_block
+    nearest = round(ratio)
+    if nearest > 0 and abs(ratio - nearest) <= 1e-9 * nearest:
+        by_memory = int(nearest)
+    else:
+        by_memory = int(math.floor(ratio))
     if by_memory == 0:
         raise ValueError(
             f"a thread block needs {shared_words_per_block} shared words but the "

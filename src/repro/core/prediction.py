@@ -29,32 +29,15 @@ from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
 from repro.core.occupancy import OccupancyModel
 from repro.utils.stats import (
+    POSITIVE_TOTALS_MESSAGE,
     average,
     growth_rate_similarity,
     mean_absolute_difference,
     normalise_series,
+    require_positive_totals,
 )
 
 MetricsFactory = Callable[[int], AlgorithmMetrics]
-
-#: Shared error message for proportions over non-positive observed totals.
-POSITIVE_TOTALS_MESSAGE = (
-    "all observed total times must be positive to form transfer/capture "
-    "proportions"
-)
-
-
-def require_positive_totals(totals: Sequence[float]) -> np.ndarray:
-    """Validate observed totals before dividing by them.
-
-    Both the observed transfer proportion ``ΔE`` and the SWGPU capture
-    fraction divide by the observed totals; this shared guard gives them one
-    consistent error message.
-    """
-    array = np.asarray(totals, dtype=float)
-    if array.size == 0 or np.any(array <= 0):
-        raise ValueError(POSITIVE_TOTALS_MESSAGE)
-    return array
 
 
 @dataclass

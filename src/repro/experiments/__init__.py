@@ -14,6 +14,8 @@ from repro.experiments.figures import (
     figure6,
     figure_chunk_sweep,
     figure_overlap,
+    figure_scaling,
+    figure_shard_sweep,
 )
 from repro.experiments.report import (
     render_comparison_summary,
@@ -41,9 +43,12 @@ from repro.experiments.tables import (
     AlgorithmSummary,
     OverlapSummary,
     PAPER_REPORTED,
+    ScalingSummary,
     overlap_summary,
     render_overlap_summary,
+    render_scaling_summary,
     render_summary,
+    scaling_summary,
     summarise,
     summary_statistics,
     table1,
@@ -58,6 +63,8 @@ __all__ = [
     "figure6",
     "figure_chunk_sweep",
     "figure_overlap",
+    "figure_scaling",
+    "figure_shard_sweep",
     "render_comparison_summary",
     "render_figure",
     "render_figures",
@@ -78,9 +85,12 @@ __all__ = [
     "AlgorithmSummary",
     "OverlapSummary",
     "PAPER_REPORTED",
+    "ScalingSummary",
     "overlap_summary",
     "render_overlap_summary",
+    "render_scaling_summary",
     "render_summary",
+    "scaling_summary",
     "summarise",
     "summary_statistics",
     "table1",

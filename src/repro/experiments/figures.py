@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.prediction import PredictionComparison
 from repro.experiments.results import as_comparison, as_comparisons
+from repro.utils.stats import speedup_series
 
 
 @dataclass
@@ -210,7 +211,7 @@ def figure_overlap(
         series={
             "Serial": serial,
             "Async": overlapped,
-            "Speedup Δ": serial / overlapped,
+            "Speedup Δ": speedup_series(serial, overlapped),
         },
     )
 
@@ -258,6 +259,92 @@ def figure_chunk_sweep(
         y_label="cost / speedup",
         sizes=[int(c) for c in counts],
         series={"Async": costs, "Speedup Δ": serial / costs},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Multi-GPU sharding (scaling) figures — beyond the paper's evaluation
+# --------------------------------------------------------------------- #
+def figure_scaling(
+    comparison,
+    serial_backend: str = "atgpu",
+    sharded_backend: str = "atgpu-multi",
+    title: str = "Multi-GPU sharding: serial vs sharded predicted cost",
+) -> FigureSeries:
+    """Serial vs sharded predicted cost and the scaling speedup over a sweep.
+
+    ``comparison`` may be a :class:`~repro.experiments.results.Result` (or a
+    :class:`PredictionComparison`) carrying prediction series for both
+    backends, i.e. its spec ran with e.g. ``backends=("atgpu", "swgpu",
+    "perfect", "atgpu-multi")``.  The ``Speedup Δ`` curve is the per-size
+    ratio of the serial to the sharded (straggler) cost.
+    """
+    comparison = as_comparison(comparison)
+    serial = comparison.prediction.series_for(serial_backend)
+    sharded = comparison.prediction.series_for(sharded_backend)
+    return FigureSeries(
+        figure="Scaling",
+        title=title,
+        x_label="n",
+        y_label="cost / speedup",
+        sizes=comparison.sizes,
+        series={
+            "Serial": serial,
+            "Sharded": sharded,
+            "Speedup Δ": speedup_series(serial, sharded),
+        },
+    )
+
+
+def figure_shard_sweep(
+    algorithm,
+    n: int,
+    preset=None,
+    device_counts: Sequence[int] = (),
+    contention: float = 0.0,
+) -> FigureSeries:
+    """Sharded cost and speedup at one input size across device counts.
+
+    Evaluates the sharded cost model directly (no registered backend per
+    device count needed); the x-axis is the pool size, with 1 the serial
+    baseline.  ``device_counts`` defaults to
+    :data:`repro.workloads.sweeps.SHARD_COUNT_SWEEP`.
+    """
+    from repro.core.presets import DEFAULT_PRESET
+    from repro.core.sharding import sharded_gpu_cost
+    from repro.workloads.sweeps import SHARD_COUNT_SWEEP
+
+    if isinstance(algorithm, str):
+        from repro.algorithms.registry import create
+
+        algorithm = create(algorithm)
+    preset = preset or DEFAULT_PRESET
+    counts = list(device_counts) or list(SHARD_COUNT_SWEEP.sizes)
+    metrics = algorithm.metrics(int(n), preset.machine)
+    costs = np.array([
+        sharded_gpu_cost(
+            metrics, preset.machine, preset.parameters, preset.occupancy,
+            devices=int(p), contention=contention,
+        )
+        for p in counts
+    ])
+    serial = sharded_gpu_cost(
+        metrics, preset.machine, preset.parameters, preset.occupancy,
+        devices=1,
+    )
+    return FigureSeries(
+        figure="Scaling-devices",
+        title=(
+            f"{algorithm.name}: sharded cost vs device count at n={int(n)} "
+            f"(contention {contention:g})"
+        ),
+        x_label="devices",
+        y_label="cost / speedup",
+        sizes=[int(p) for p in counts],
+        series={
+            "Sharded": costs,
+            "Speedup Δ": speedup_series(np.full(len(costs), serial), costs),
+        },
     )
 
 

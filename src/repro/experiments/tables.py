@@ -17,6 +17,7 @@ from typing import Dict, Optional
 from repro.core.comparison import model_feature_table, render_feature_table
 from repro.core.prediction import PredictionComparison
 from repro.experiments.results import as_comparison, as_comparisons
+from repro.utils.stats import speedup_series
 
 #: The values the paper reports in Section IV-D, for side-by-side comparison.
 PAPER_REPORTED = {
@@ -138,11 +139,57 @@ def overlap_summary(
     for name, comparison in as_comparisons(comparisons).items():
         serial = comparison.prediction.series_for(serial_backend)
         overlapped = comparison.prediction.series_for(async_backend)
-        speedups = serial / overlapped
+        speedups = speedup_series(serial, overlapped)
         out[name] = OverlapSummary(
             algorithm=name,
             serial_cost=float(serial.sum()),
             overlapped_cost=float(overlapped.sum()),
+            mean_speedup=float(speedups.mean()),
+            max_speedup=float(speedups.max()),
+        )
+    return out
+
+
+@dataclass
+class ScalingSummary:
+    """Predicted benefit of multi-GPU sharding for one algorithm's sweep."""
+
+    algorithm: str
+    serial_cost: float
+    sharded_cost: float
+    mean_speedup: float
+    max_speedup: float
+
+    @property
+    def saving_share(self) -> float:
+        """Fraction of the serial cost removed by sharding, aggregated."""
+        if self.serial_cost == 0:
+            return 0.0
+        return 1.0 - self.sharded_cost / self.serial_cost
+
+
+def scaling_summary(
+    comparisons,
+    serial_backend: str = "atgpu",
+    sharded_backend: str = "atgpu-multi",
+) -> Dict[str, ScalingSummary]:
+    """Sharding speedup Δ relative to the serial model, per algorithm.
+
+    Every comparison must carry prediction series for both backends (run its
+    specs with ``backends`` including ``atgpu-multi`` or a
+    :func:`~repro.core.backends.make_sharded_backend` variant).
+    ``serial_cost`` and ``sharded_cost`` are sums over the sweep; the
+    speedups are per-size serial/straggler ratios.
+    """
+    out: Dict[str, ScalingSummary] = {}
+    for name, comparison in as_comparisons(comparisons).items():
+        serial = comparison.prediction.series_for(serial_backend)
+        sharded = comparison.prediction.series_for(sharded_backend)
+        speedups = speedup_series(serial, sharded)
+        out[name] = ScalingSummary(
+            algorithm=name,
+            serial_cost=float(serial.sum()),
+            sharded_cost=float(sharded.sum()),
             mean_speedup=float(speedups.mean()),
             max_speedup=float(speedups.max()),
         )
@@ -169,6 +216,24 @@ def render_overlap_summary(summaries: Dict[str, OverlapSummary]) -> str:
             name,
             f"{s.serial_cost:.4g}",
             f"{s.overlapped_cost:.4g}",
+            f"{s.mean_speedup:.3f}",
+            f"{s.max_speedup:.3f}",
+            f"{s.saving_share:.1%}",
+        ])
+    return _render_table(rows)
+
+
+def render_scaling_summary(summaries: Dict[str, ScalingSummary]) -> str:
+    """Aligned text table of the sharding-speedup summary."""
+    rows = [[
+        "algorithm", "serial cost", "sharded cost", "mean Δ", "max Δ",
+        "saving share",
+    ]]
+    for name, s in summaries.items():
+        rows.append([
+            name,
+            f"{s.serial_cost:.4g}",
+            f"{s.sharded_cost:.4g}",
             f"{s.mean_speedup:.3f}",
             f"{s.max_speedup:.3f}",
             f"{s.saving_share:.1%}",

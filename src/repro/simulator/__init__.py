@@ -14,6 +14,7 @@ compared, playing the role of the GTX 650 in the paper's evaluation.
 
 from repro.simulator.config import WORD_BYTES, DeviceConfig
 from repro.simulator.device import GPUDevice, LaunchRecord
+from repro.simulator.device_pool import DevicePool
 from repro.simulator.errors import (
     AllocationError,
     InvalidAccessError,
@@ -57,6 +58,7 @@ __all__ = [
     "DeviceConfig",
     "GPUDevice",
     "LaunchRecord",
+    "DevicePool",
     "AllocationError",
     "InvalidAccessError",
     "LaunchError",

@@ -1,0 +1,222 @@
+"""A pool of simulated devices sharing one host interconnect.
+
+:class:`DevicePool` is the simulator counterpart of
+:class:`repro.core.sharding.ShardedCostModel`: it instantiates one
+:class:`~repro.simulator.streams.StreamTimeline` per device — each with its
+own copy and compute engines, so devices proceed concurrently — over a
+single host link whose transfer parameters come from one shared
+:class:`~repro.simulator.transfer_engine.TransferEngine`.
+
+Interconnect contention is modelled the same way the analytic model prices
+it: a ``contention`` factor in ``[0, 1]`` stretches the *streaming* portion
+of every transfer by ``1 + contention·(P - 1)`` (the fixed DMA-setup latency
+is per-device and does not stretch).  With equal shards this charge equals
+the model's interpolation between fully parallel per-device links
+(``contention=0``) and one fully serialised shared link (``contention=1``).
+
+The pool's **makespan** is the completion time of the slowest device
+(straggler), to be compared against :attr:`serial_time_s`, the back-to-back
+cost of the very same operations on one device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.transfer import TransferDirection
+from repro.simulator.config import DeviceConfig
+from repro.simulator.streams import Stream, StreamOp, StreamOpKind, StreamTimeline
+from repro.simulator.timing import KernelTiming
+from repro.simulator.transfer_engine import TransferEngine, TransferRecord
+from repro.utils.validation import ensure_in_range, ensure_positive_int
+
+
+class DevicePool:
+    """``P`` stream timelines over one shared host link.
+
+    Parameters
+    ----------
+    devices:
+        Number of simulated devices in the pool.
+    config:
+        The per-device configuration (all devices are identical); defaults
+        to the GTX-650-like device.
+    contention:
+        Interconnect-contention factor in ``[0, 1]`` (see module docs).
+    """
+
+    def __init__(
+        self,
+        devices: int,
+        config: Optional[DeviceConfig] = None,
+        contention: float = 0.0,
+    ) -> None:
+        self.num_devices = ensure_positive_int(devices, "devices")
+        self.config = config or DeviceConfig.gtx650()
+        self.contention = ensure_in_range(contention, "contention", 0.0, 1.0)
+        self.transfer_engine = TransferEngine(self.config)
+        self.timelines: List[StreamTimeline] = [
+            StreamTimeline() for _ in range(self.num_devices)
+        ]
+        self._serial_time_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Link model
+    # ------------------------------------------------------------------ #
+    @property
+    def link_stretch(self) -> float:
+        """Streaming-time multiplier on the shared link, ``1 + c·(P-1)``."""
+        return 1.0 + self.contention * (self.num_devices - 1)
+
+    def transfer_duration(
+        self, words: int, direction: TransferDirection, pinned: bool = False
+    ) -> float:
+        """Seconds one device spends moving ``words`` words over the link."""
+        base = self.transfer_engine.duration(words, direction, pinned=pinned)
+        if base == 0.0 or self.link_stretch == 1.0:
+            return base
+        streaming = base - self.config.transfer_latency_s
+        return self.config.transfer_latency_s + streaming * self.link_stretch
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def timeline(self, device: int) -> StreamTimeline:
+        """The stream timeline of one device (0-indexed)."""
+        if not 0 <= device < self.num_devices:
+            raise IndexError(
+                f"device index {device} outside pool of {self.num_devices}"
+            )
+        return self.timelines[device]
+
+    def add_transfer(
+        self,
+        device: int,
+        words: int,
+        direction: TransferDirection,
+        stream: "Stream | str" = "main",
+        pinned: bool = False,
+        label: str = "",
+        wait: Sequence[StreamOp] = (),
+    ) -> StreamOp:
+        """Schedule a (possibly contended) copy on one device's timeline.
+
+        The transfer is also appended to the pool's shared
+        :class:`TransferEngine` record list with its *stretched* duration, so
+        link statistics reflect what the pool actually charged.
+        """
+        timeline = self.timeline(device)
+        self._serial_time_s += self.transfer_engine.duration(
+            words, direction, pinned=pinned
+        )
+        duration = self.transfer_duration(words, direction, pinned=pinned)
+        record = TransferRecord(
+            direction=direction,
+            words=int(words),
+            duration_s=duration,
+            pinned=pinned,
+            label=label,
+        )
+        self.transfer_engine.records.append(record)
+        kind = (
+            StreamOpKind.H2D
+            if direction is TransferDirection.HOST_TO_DEVICE
+            else StreamOpKind.D2H
+        )
+        return timeline.submit(
+            stream,
+            kind,
+            duration,
+            name=f"{kind.value} {label}".strip(),
+            wait=wait,
+            details=f"{int(words)} words",
+        )
+
+    def add_kernel(
+        self,
+        device: int,
+        timing: KernelTiming,
+        stream: "Stream | str" = "main",
+        wait: Sequence[StreamOp] = (),
+    ) -> StreamOp:
+        """Schedule a kernel launch on one device's timeline."""
+        timeline = self.timeline(device)
+        self._serial_time_s += timing.total_time_s
+        return timeline.add_kernel(stream, timing, wait=wait)
+
+    def add_host(
+        self,
+        device: int,
+        duration_s: float,
+        name: str = "host",
+        stream: "Stream | str" = "main",
+        wait: Sequence[StreamOp] = (),
+    ) -> StreamOp:
+        """Schedule host-side work (e.g. a sync) on one device's timeline."""
+        timeline = self.timeline(device)
+        self._serial_time_s += float(duration_s)
+        return timeline.submit(
+            stream, StreamOpKind.HOST, duration_s, name=name, wait=wait
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the slowest device — the pool's total time."""
+        return max(t.makespan_s for t in self.timelines)
+
+    def device_makespans(self) -> Tuple[float, ...]:
+        """Per-device completion times (the spread shows the imbalance)."""
+        return tuple(t.makespan_s for t in self.timelines)
+
+    @property
+    def straggler(self) -> int:
+        """Index of the device finishing last."""
+        spans = self.device_makespans()
+        return spans.index(max(spans))
+
+    @property
+    def serial_time_s(self) -> float:
+        """The same operations executed back to back on one device.
+
+        A single device has the link to itself, so transfers count at their
+        *uncontended* durations here (the stretched durations are what the
+        pool's timelines were charged); comparing against :attr:`makespan_s`
+        therefore prices sharding and contention together, matching
+        :meth:`repro.core.sharding.ShardedCostModel.scaling_speedup`.  Only
+        operations submitted through the pool's own ``add_*`` methods are
+        counted.
+        """
+        return self._serial_time_s
+
+    @property
+    def sharding_speedup(self) -> float:
+        """Serial-over-pool time ratio (1.0 = no benefit from sharding)."""
+        if self.makespan_s == 0:
+            return 1.0
+        return self.serial_time_s / self.makespan_s
+
+    def engine_busy_times(self) -> Dict[str, float]:
+        """Busy seconds per engine, summed across devices."""
+        out: Dict[str, float] = {}
+        for timeline in self.timelines:
+            for engine, busy in timeline.engine_busy_times().items():
+                out[engine] = out.get(engine, 0.0) + busy
+        return out
+
+    def render(self) -> str:
+        """Profiler-style rendering: one section per device."""
+        sections = [
+            f"Pool: {self.num_devices} devices, contention "
+            f"{self.contention:g} (link stretch {self.link_stretch:g}x), "
+            f"makespan {self.makespan_s * 1e3:.4f} ms"
+        ]
+        for index, timeline in enumerate(self.timelines):
+            sections.append(
+                f"-- device {index} "
+                f"(makespan {timeline.makespan_s * 1e3:.4f} ms)"
+            )
+            sections.append(timeline.render())
+        return "\n".join(sections)

@@ -19,6 +19,28 @@ from typing import Sequence
 
 import numpy as np
 
+#: Shared error message for proportions over non-positive observed totals.
+#: Raised everywhere a transfer/capture proportion would divide by a zero or
+#: negative total, so callers see one consistent failure mode.
+POSITIVE_TOTALS_MESSAGE = (
+    "all observed total times must be positive to form transfer/capture "
+    "proportions"
+)
+
+
+def require_positive_totals(totals: Sequence[float]) -> np.ndarray:
+    """Validate observed totals before dividing by them.
+
+    The observed transfer proportion ``ΔE``, the per-point
+    :func:`transfer_proportion` / :func:`capture_fraction` ratios and the
+    SWGPU capture fraction all divide by observed totals; this shared guard
+    gives them one consistent error message.
+    """
+    array = np.atleast_1d(np.asarray(totals, dtype=float))
+    if array.size == 0 or np.any(array <= 0):
+        raise ValueError(POSITIVE_TOTALS_MESSAGE)
+    return array
+
 
 def normalise_series(values: Sequence[float]) -> np.ndarray:
     """Normalise ``values`` linearly onto ``[0, 1]``.
@@ -45,10 +67,11 @@ def transfer_proportion(transfer: float, total: float) -> float:
     """Return ``Δ``, the proportion of ``total`` attributable to ``transfer``.
 
     Used both for observed times (``ΔE``) and for predicted costs (``ΔT``)
-    in Figure 6.  ``total`` must be positive and at least ``transfer``.
+    in Figure 6.  ``total`` must be positive and at least ``transfer``; a
+    non-positive total raises the shared positive-totals guard message.
     """
     if total <= 0:
-        raise ValueError(f"total must be > 0, got {total!r}")
+        raise ValueError(POSITIVE_TOTALS_MESSAGE)
     if transfer < 0:
         raise ValueError(f"transfer must be >= 0, got {transfer!r}")
     if transfer > total * (1 + 1e-12):
@@ -66,15 +89,42 @@ def capture_fraction(predicted_component: float, observed_total: float) -> float
     predicted component and the observed total live in different units
     (abstract cost vs simulated time), so callers first map the prediction to
     time via the calibrated operation rate; this helper merely forms the
-    ratio and clips it to ``[0, 1]``.
+    ratio and clips it to ``[0, 1]``.  A non-positive total raises the
+    shared positive-totals guard message.
     """
     if observed_total <= 0:
-        raise ValueError(f"observed_total must be > 0, got {observed_total!r}")
+        raise ValueError(POSITIVE_TOTALS_MESSAGE)
     if predicted_component < 0:
         raise ValueError(
             f"predicted_component must be >= 0, got {predicted_component!r}"
         )
     return float(min(predicted_component / observed_total, 1.0))
+
+
+def speedup_series(
+    baseline: Sequence[float], improved: Sequence[float]
+) -> np.ndarray:
+    """Element-wise ``baseline / improved`` ratio that never divides by zero.
+
+    Used for the overlap and sharding speedup curves.  Where ``improved`` is
+    zero the ratio is ``1.0`` if ``baseline`` is zero too (both free: no
+    speedup to speak of) and ``inf`` otherwise (the improvement removed the
+    cost entirely).
+    """
+    base = np.asarray(baseline, dtype=float)
+    better = np.asarray(improved, dtype=float)
+    if base.shape != better.shape:
+        raise ValueError(
+            f"series must have the same shape, got {base.shape} and "
+            f"{better.shape}"
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(
+            better > 0,
+            base / np.where(better > 0, better, 1.0),
+            np.where(base > 0, np.inf, 1.0),
+        )
+    return ratio
 
 
 def average(values: Sequence[float]) -> float:

@@ -13,6 +13,7 @@ from repro.workloads.sweeps import (
     PAPER_SWEEPS,
     REDUCTION_SMALL,
     REDUCTION_SWEEP,
+    SHARD_COUNT_SWEEP,
     SMALL_SWEEPS,
     STREAM_CHUNK_SWEEP,
     Sweep,
@@ -32,6 +33,7 @@ __all__ = [
     "PAPER_SWEEPS",
     "REDUCTION_SMALL",
     "REDUCTION_SWEEP",
+    "SHARD_COUNT_SWEEP",
     "SMALL_SWEEPS",
     "STREAM_CHUNK_SWEEP",
     "Sweep",

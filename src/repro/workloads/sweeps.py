@@ -78,6 +78,16 @@ STREAM_CHUNK_SWEEP = Sweep(
     description="chunk counts for the async-stream overlap experiments",
 )
 
+#: Device counts explored by the multi-GPU sharding experiments: 1 is the
+#: serial baseline, then doubling pool sizes.  Scaling flattens once the
+#: per-device shard no longer amortises the fixed per-transfer overheads or
+#: the interconnect contention dominates.
+SHARD_COUNT_SWEEP = Sweep(
+    name="shard_counts",
+    sizes=[1, 2, 4, 8],
+    description="device counts for the multi-GPU sharding experiments",
+)
+
 #: Sweeps keyed by the algorithm registry name, paper-scale and reduced.
 PAPER_SWEEPS = {
     "vector_addition": VECTOR_ADDITION_SWEEP,

@@ -150,6 +150,25 @@ class TestOccupancy:
         with pytest.raises(ValueError):
             blocks_per_multiprocessor(64, 100, 8)
 
+    def test_blocks_per_mp_fractional_shared_words_no_float_floor_loss(self):
+        # 10 / 0.1 is 99.999... in binary; a bare floor loses a resident
+        # block the MP really has room for.
+        assert blocks_per_multiprocessor(10, 0.1, 1000) == 100
+        assert blocks_per_multiprocessor(3, 0.3, 1000) == 10
+        assert blocks_per_multiprocessor(7, 0.7, 1000) == 10
+
+    def test_blocks_per_mp_fractional_shared_words_still_floors(self):
+        # Genuinely fractional ratios must still floor, not round up.
+        assert blocks_per_multiprocessor(10, 3, 1000) == 3
+        assert blocks_per_multiprocessor(10, 0.15, 1000) == 66
+
+    def test_blocks_per_mp_huge_exact_ratio_not_inflated(self):
+        # The epsilon must not grant blocks the MP has no memory for when
+        # the ratio is a large exact integer.
+        assert blocks_per_multiprocessor(
+            2_000_000_000, 1, 10**12
+        ) == 2_000_000_000
+
     def test_wave_count_ceiling(self):
         assert wave_count(100, 2, 8) == math.ceil(100 / 16)
         assert wave_count(16, 2, 8) == 1

@@ -7,6 +7,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.calibration import (
+    _active_set_nnls,
+    _r_squared,
     calibrate_cost_parameters,
     calibrate_transfer_model,
     feature_vector,
@@ -165,6 +167,87 @@ class TestCalibration:
         with pytest.raises(ValueError):
             calibrate_cost_parameters([factory(100), factory(200)], [1.0, 0.0],
                                       machine, occupancy)
+
+
+class TestNNLSFallback:
+    def test_active_set_refits_instead_of_clamping(self):
+        # Target built from column 0 only, but column 1 is anti-correlated
+        # noise: unconstrained lstsq goes negative on column 1 and, without
+        # a refit, column 0's coefficient stays biased away from 2.0.
+        design = np.array([
+            [1.0, 1.0],
+            [2.0, 1.9],
+            [3.0, 3.1],
+            [4.0, 3.9],
+        ])
+        target = 2.0 * design[:, 0] - 0.5 * design[:, 1]
+        unconstrained, *_ = np.linalg.lstsq(design, target, rcond=None)
+        assert unconstrained[1] < 0  # the scenario the fallback must handle
+        clamped = np.clip(unconstrained, 0.0, None)
+        solution = _active_set_nnls(design, target)
+        assert np.all(solution >= 0)
+        # The refit solves lstsq on the surviving column exactly ...
+        expected, *_ = np.linalg.lstsq(design[:, :1], target, rcond=None)
+        assert solution[0] == pytest.approx(expected[0])
+        assert solution[1] == 0.0
+        # ... which beats the naive clamp on residual.
+        refit_residual = np.linalg.norm(design @ solution - target)
+        clamp_residual = np.linalg.norm(design @ clamped - target)
+        assert refit_residual < clamp_residual
+
+    def test_active_set_returns_exact_nonnegative_solution_unchanged(self):
+        design = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        target = design @ np.array([2.0, 3.0])
+        solution = _active_set_nnls(design, target)
+        assert np.allclose(solution, [2.0, 3.0])
+
+    def test_active_set_all_negative_gives_zero_vector(self):
+        design = np.array([[1.0], [2.0], [3.0]])
+        target = np.array([-1.0, -2.0, -3.0])
+        solution = _active_set_nnls(design, target)
+        assert np.array_equal(solution, np.zeros(1))
+
+
+class TestRSquaredGuards:
+    def test_zero_variance_target_reproduced_scores_one(self):
+        target = np.array([2.0, 2.0, 2.0])
+        assert _r_squared(target, target.copy()) == 1.0
+
+    def test_zero_variance_target_missed_scores_zero(self):
+        target = np.array([2.0, 2.0, 2.0])
+        predicted = np.array([1.0, 2.0, 3.0])
+        assert _r_squared(target, predicted) == 0.0
+
+    def test_near_constant_target_does_not_blow_up(self):
+        base = 1.0
+        target = base + np.array([0.0, 1e-18, -1e-18])
+        predicted = np.full(3, base)
+        value = _r_squared(target, predicted)
+        assert np.isfinite(value)
+        assert value == 1.0
+
+    def test_ordinary_fit_unchanged(self):
+        target = np.array([1.0, 2.0, 3.0])
+        predicted = np.array([1.1, 1.9, 3.0])
+        expected = 1.0 - (0.01 + 0.01) / 2.0
+        assert _r_squared(target, predicted) == pytest.approx(expected)
+
+    def test_small_magnitude_targets_keep_a_relative_floor(self):
+        # The floor must scale with the target: a genuinely varying
+        # nanosecond-scale target is not zero-variance, and an
+        # anti-correlated prediction must not score a perfect fit.
+        target = np.array([1e-9, 2e-9, 3e-9])
+        predicted = target[::-1].copy()
+        assert _r_squared(target, predicted) == pytest.approx(-3.0)
+        assert _r_squared(target, target.copy()) == pytest.approx(1.0)
+
+    def test_large_mean_small_variance_target_not_misclassified(self):
+        # Variance far below the mean but far above representation noise:
+        # still a real fit problem, not a constant target.
+        target = 1e9 + np.array([0.0, 1.0, -1.0])
+        predicted = 1e9 + np.array([0.0, -1.0, 1.0])
+        assert _r_squared(target, predicted) == pytest.approx(-3.0)
+        assert _r_squared(target, target.copy()) == pytest.approx(1.0)
 
 
 class TestPresets:

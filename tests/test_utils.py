@@ -7,12 +7,15 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.stats import (
+    POSITIVE_TOTALS_MESSAGE,
     average,
     capture_fraction,
     growth_rate_similarity,
     mean_absolute_difference,
     normalise_series,
     relative_error,
+    require_positive_totals,
+    speedup_series,
     transfer_proportion,
 )
 from repro.utils.units import (
@@ -189,3 +192,57 @@ class TestStats:
     def test_transfer_proportion_in_unit_interval(self, transfer, extra):
         total = transfer + extra
         assert 0.0 <= transfer_proportion(transfer, total) <= 1.0
+
+
+class TestZeroRangeAndTotalsGuards:
+    def test_all_equal_series_normalises_to_zeros(self):
+        assert np.array_equal(normalise_series([7.0, 7.0, 7.0]), np.zeros(3))
+
+    def test_all_zero_series_normalises_to_zeros(self):
+        assert np.array_equal(normalise_series([0.0, 0.0]), np.zeros(2))
+
+    def test_growth_rate_similarity_defined_for_constant_series(self):
+        # Both curves have zero range; the normalised shapes are identical
+        # flat lines, not a division by zero.
+        assert growth_rate_similarity([3.0, 3.0], [9.0, 9.0]) == 1.0
+
+    def test_transfer_proportion_uses_shared_guard_message(self):
+        with pytest.raises(ValueError) as err:
+            transfer_proportion(0.0, 0.0)
+        assert str(err.value) == POSITIVE_TOTALS_MESSAGE
+
+    def test_capture_fraction_uses_shared_guard_message(self):
+        with pytest.raises(ValueError) as err:
+            capture_fraction(1.0, 0.0)
+        assert str(err.value) == POSITIVE_TOTALS_MESSAGE
+
+    def test_require_positive_totals_accepts_and_rejects(self):
+        out = require_positive_totals([1.0, 2.0])
+        assert np.array_equal(out, [1.0, 2.0])
+        for bad in ([], [0.0], [1.0, -2.0]):
+            with pytest.raises(ValueError) as err:
+                require_positive_totals(bad)
+            assert str(err.value) == POSITIVE_TOTALS_MESSAGE
+
+    def test_shared_guard_importable_from_prediction_module(self):
+        # Backwards-compatible home of the guard (the prediction module).
+        from repro.core import prediction
+
+        assert prediction.POSITIVE_TOTALS_MESSAGE is POSITIVE_TOTALS_MESSAGE
+        assert prediction.require_positive_totals is require_positive_totals
+
+
+class TestSpeedupSeries:
+    def test_ordinary_ratio(self):
+        out = speedup_series([4.0, 9.0], [2.0, 3.0])
+        assert np.array_equal(out, [2.0, 3.0])
+
+    def test_zero_improved_and_zero_baseline_is_one(self):
+        assert speedup_series([0.0], [0.0])[0] == 1.0
+
+    def test_zero_improved_with_positive_baseline_is_inf(self):
+        assert np.isinf(speedup_series([5.0], [0.0])[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_series([1.0], [1.0, 2.0])
