@@ -1,0 +1,260 @@
+"""Scalar-vs-vectorized sweep benchmark and ``BENCH_sweep.json`` emitter.
+
+Times ``predict_sweep`` end to end on the paper's Section IV sweeps, a
+dense 256-point sweep, and the ``STREAM_CHUNK_SWEEP`` /
+``SHARD_COUNT_SWEEP`` backend families, on both evaluation paths:
+
+* ``scalar`` — the original per-size path (one ``analyse_metrics`` plus one
+  scalar backend call per size per backend),
+* ``batch``  — the vectorized path (one compiled
+  :class:`~repro.core.batch.MetricsBatch`, one array program per backend
+  family).
+
+Every entry asserts bit-for-bit parity between the two paths
+(``np.allclose(..., rtol=0, atol=0)``) before it is recorded, and the
+result is written as machine-readable JSON so the performance trajectory is
+tracked PR over PR (the CI ``perf-smoke`` lane uploads it as an artifact).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import MatrixMultiplication, Reduction, VectorAddition
+from repro.core.backends import (
+    get_backend,
+    make_async_backend,
+    make_sharded_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.workloads.sweeps import (
+    SHARD_COUNT_SWEEP,
+    STREAM_CHUNK_SWEEP,
+    dense_sweep,
+    sweep_for,
+)
+
+#: Every built-in backend family, in registration order.
+FAMILY_BACKENDS = (
+    "atgpu", "swgpu", "perfect", "agpu", "atgpu-async", "atgpu-multi",
+)
+
+#: Points in the dense sweep of the headline speedup entry.
+DENSE_POINTS = 256
+
+
+def _ensure_registered(backend, added: Optional[List[str]] = None) -> str:
+    """Register a backend variant unless its name is already taken.
+
+    Names this call registers are appended to ``added`` so the caller can
+    restore the registry afterwards (other test modules register the same
+    variant names and must not collide with benchmark leftovers).
+    """
+    try:
+        get_backend(backend.name)
+    except KeyError:
+        register_backend(backend)
+        if added is not None:
+            added.append(backend.name)
+    return backend.name
+
+
+def chunk_sweep_backends(added: Optional[List[str]] = None) -> List[str]:
+    """One async backend per ``STREAM_CHUNK_SWEEP`` chunk count."""
+    return [
+        _ensure_registered(make_async_backend(int(chunks)), added)
+        for chunks in STREAM_CHUNK_SWEEP.sizes
+    ]
+
+
+def shard_sweep_backends(added: Optional[List[str]] = None) -> List[str]:
+    """One sharded backend per ``SHARD_COUNT_SWEEP`` device count."""
+    return [
+        _ensure_registered(make_sharded_backend(int(devices)), added)
+        for devices in SHARD_COUNT_SWEEP.sizes
+    ]
+
+
+def dense_sizes(points: int = DENSE_POINTS) -> List[int]:
+    """A dense vector-addition-style sweep of ``points`` distinct sizes."""
+    return list(dense_sweep(points).sizes)
+
+
+def _time_path(algorithm, sizes, backends, path: str, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one ``predict_sweep`` path."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        algorithm.predict_sweep(sizes, backends=backends, path=path)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_entry(
+    name: str,
+    algorithm,
+    sizes: Sequence[int],
+    backends: Sequence[str],
+    repeats: int = 3,
+) -> Dict:
+    """Time both paths on one sweep and verify their parity."""
+    sizes = list(sizes)
+    backends = tuple(backends)
+    scalar = algorithm.predict_sweep(sizes, backends=backends, path="scalar")
+    batch = algorithm.predict_sweep(sizes, backends=backends, path="batch")
+    max_diff = 0.0
+    parity = True
+    for backend in backends:
+        a = scalar.series_for(backend)
+        b = batch.series_for(backend)
+        max_diff = max(max_diff, float(np.max(np.abs(a - b))))
+        parity = parity and bool(np.allclose(a, b, rtol=0, atol=0))
+    parity = parity and bool(np.allclose(
+        scalar.predicted_transfer_proportions,
+        batch.predicted_transfer_proportions,
+        rtol=0, atol=0,
+    ))
+    scalar_s = _time_path(algorithm, sizes, backends, "scalar", repeats)
+    batch_s = _time_path(algorithm, sizes, backends, "batch", repeats)
+    return {
+        "name": name,
+        "algorithm": algorithm.name,
+        "points": len(sizes),
+        "backends": list(backends),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        "max_abs_diff": max_diff,
+        "parity": parity,
+    }
+
+
+def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
+    """Run every benchmark entry and assemble the report dictionary.
+
+    Backend variants registered for the chunk/shard sweeps are unregistered
+    again on the way out, so running the harness (e.g. inside a pytest
+    session) leaves the global registry exactly as it found it.
+    """
+    added: List[str] = []
+    try:
+        chunk_names = chunk_sweep_backends(added)
+        shard_names = shard_sweep_backends(added)
+        grid = tuple(dict.fromkeys(
+            (*FAMILY_BACKENDS, *chunk_names, *shard_names)
+        ))
+        entries = [
+            bench_entry(
+                f"section4/{algorithm.name}", algorithm,
+                sweep_for(algorithm.name).sizes, FAMILY_BACKENDS, repeats,
+            )
+            for algorithm in (
+                VectorAddition(), Reduction(), MatrixMultiplication(),
+            )
+        ]
+        entries.append(bench_entry(
+            f"dense{points}/vector_addition", VectorAddition(),
+            dense_sizes(points), grid, repeats,
+        ))
+        entries.append(bench_entry(
+            "stream_chunk_sweep/reduction", Reduction(),
+            sweep_for("reduction").sizes, ("atgpu", *chunk_names), repeats,
+        ))
+        entries.append(bench_entry(
+            "shard_count_sweep/vector_addition", VectorAddition(),
+            sweep_for("vector_addition").sizes, ("atgpu", *shard_names),
+            repeats,
+        ))
+    finally:
+        for name in added:
+            unregister_backend(name)
+    speedups = [entry["speedup"] for entry in entries]
+    dense = next(e for e in entries if e["name"].startswith("dense"))
+    return {
+        "benchmark": "vectorized-batch-sweep",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repeats": repeats,
+        "entries": entries,
+        "summary": {
+            "parity": all(entry["parity"] for entry in entries),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+            "dense_points": dense["points"],
+            "dense_speedup": dense["speedup"],
+        },
+    }
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_sweep.json",
+        help="path of the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per entry, best-of (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=DENSE_POINTS,
+        help="dense-sweep point count (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-dense-speedup", type=float, default=None,
+        help="fail unless the dense-sweep speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(repeats=args.repeats, points=args.points)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    width = max(len(entry["name"]) for entry in report["entries"])
+    for entry in report["entries"]:
+        flag = "ok" if entry["parity"] else "PARITY MISMATCH"
+        print(
+            f"{entry['name']:<{width}}  {entry['points']:>4} pts  "
+            f"scalar {entry['scalar_s'] * 1e3:8.2f} ms  "
+            f"batch {entry['batch_s'] * 1e3:7.2f} ms  "
+            f"speedup {entry['speedup']:6.1f}x  {flag}"
+        )
+    summary = report["summary"]
+    print(
+        f"geomean speedup {summary['geomean_speedup']:.1f}x, "
+        f"dense {summary['dense_points']}-point sweep "
+        f"{summary['dense_speedup']:.1f}x -> {args.out}"
+    )
+    if not summary["parity"]:
+        print("ERROR: scalar and batch paths disagree", file=sys.stderr)
+        return 1
+    if (
+        args.min_dense_speedup is not None
+        and summary["dense_speedup"] < args.min_dense_speedup
+    ):
+        print(
+            f"ERROR: dense speedup {summary['dense_speedup']:.1f}x below "
+            f"required {args.min_dense_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

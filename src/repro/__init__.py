@@ -59,6 +59,7 @@ from repro.core import (
     AnalysisReport,
     CostParameters,
     GTX_650,
+    MetricsBatch,
     OccupancyModel,
     OverlappedTransferModel,
     SWGPUCostModel,
@@ -99,6 +100,7 @@ __all__ = [
     "AnalysisReport",
     "CostParameters",
     "GTX_650",
+    "MetricsBatch",
     "OccupancyModel",
     "OverlappedTransferModel",
     "SWGPUCostModel",

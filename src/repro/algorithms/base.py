@@ -227,8 +227,14 @@ class GPUAlgorithm(abc.ABC):
         sizes: Optional[Sequence[int]] = None,
         preset: GPUPreset = DEFAULT_PRESET,
         backends: Optional[Sequence[str]] = None,
+        path: str = "auto",
     ) -> SweepPrediction:
-        """Per-backend cost predictions over a sweep of input sizes."""
+        """Per-backend cost predictions over a sweep of input sizes.
+
+        ``path`` selects the evaluation strategy (see
+        :func:`repro.core.prediction.predict_sweep`): the default ``"auto"``
+        vectorizes the whole sweep when every backend supports it.
+        """
         sizes = list(sizes) if sizes is not None else self.default_sizes()
         return predict_sweep(
             algorithm=self.name,
@@ -238,6 +244,22 @@ class GPUAlgorithm(abc.ABC):
             parameters=preset.parameters,
             occupancy=preset.occupancy,
             backends=backends,
+            path=path,
+        )
+
+    def compile_batch(
+        self,
+        sizes: Optional[Sequence[int]] = None,
+        preset: GPUPreset = DEFAULT_PRESET,
+    ):
+        """Pack this algorithm's per-round metrics for a sweep into a
+        :class:`~repro.core.batch.MetricsBatch` (compiled once, evaluated by
+        any backend family as an array program)."""
+        from repro.core.batch import MetricsBatch
+
+        sizes = list(sizes) if sizes is not None else self.default_sizes()
+        return MetricsBatch.compile(
+            self.name, sizes, lambda n: self.metrics(n, preset.machine)
         )
 
     # ------------------------------------------------------------------ #

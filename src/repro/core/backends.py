@@ -38,6 +38,13 @@ Built-in backends (registered on import):
 New backends register through :func:`register_backend`; a convenient way to
 build one is :func:`make_backend` with any callable of signature
 ``(metrics, machine, parameters, occupancy) -> float``.
+
+Every built-in backend also carries a **vectorized whole-sweep evaluator**
+(see :mod:`repro.core.batch`): given a :class:`~repro.core.batch.MetricsBatch`
+it prices an entire sweep of input sizes as one NumPy array program.
+:func:`evaluate_backends_batch` is the sweep-level analogue of
+:func:`evaluate_backends`; custom backends without a batch evaluator fall
+back to their scalar ``cost`` per size automatically.
 """
 
 from __future__ import annotations
@@ -45,6 +52,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
+import numpy as np
+
+from repro.core.batch import (
+    MetricsBatch,
+    agpu_time_batch,
+    gpu_cost_batch,
+    overlapped_cost_batch,
+    perfect_cost_batch,
+    sharded_cost_batch,
+    swgpu_cost_batch,
+)
 from repro.core.comparison import AGPUAnalysis, SWGPUCostModel
 from repro.core.cost import ATGPUCostModel, CostParameters
 from repro.core.machine import ATGPUMachine
@@ -57,6 +75,12 @@ from repro.core.transfer import OverlappedTransferModel
 CostFunction = Callable[
     [AlgorithmMetrics, ATGPUMachine, CostParameters, Optional[OccupancyModel]],
     float,
+]
+
+#: Signature of a backend's vectorized (whole-sweep) evaluation function.
+BatchCostFunction = Callable[
+    [MetricsBatch, ATGPUMachine, CostParameters, Optional[OccupancyModel]],
+    np.ndarray,
 ]
 
 
@@ -85,12 +109,21 @@ class CostModel(Protocol):
 
 @dataclass(frozen=True)
 class FunctionBackend:
-    """A :class:`CostModel` wrapping a plain evaluation function."""
+    """A :class:`CostModel` wrapping a plain evaluation function.
+
+    A backend may additionally carry a vectorized whole-sweep evaluator
+    (``evaluate_batch``); backends without one are transparently served by
+    the scalar path when a batch evaluation is requested (see
+    :func:`evaluate_backends_batch`).
+    """
 
     name: str
     label: str
     evaluate: CostFunction = field(repr=False)
     description: str = ""
+    evaluate_batch: Optional[BatchCostFunction] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cost(
         self,
@@ -101,16 +134,74 @@ class FunctionBackend:
     ) -> float:
         return float(self.evaluate(metrics, machine, parameters, occupancy))
 
+    @property
+    def supports_batch(self) -> bool:
+        """Whether this backend has a vectorized whole-sweep evaluator."""
+        return self.evaluate_batch is not None
+
+    def batch_cost(
+        self,
+        batch: MetricsBatch,
+        machine: ATGPUMachine,
+        parameters: CostParameters,
+        occupancy: Optional[OccupancyModel] = None,
+    ) -> np.ndarray:
+        """Cost per sweep point, evaluated as one array program."""
+        if self.evaluate_batch is None:
+            raise ValueError(
+                f"backend {self.name!r} has no batch evaluation; use "
+                "evaluate_backends_batch for the automatic scalar fallback"
+            )
+        values = np.asarray(
+            self.evaluate_batch(batch, machine, parameters, occupancy),
+            dtype=float,
+        )
+        if values.shape != (batch.num_sizes,):
+            raise ValueError(
+                f"batch evaluation of backend {self.name!r} returned shape "
+                f"{values.shape}, expected ({batch.num_sizes},)"
+            )
+        return values
+
 
 def make_backend(
-    name: str, label: str, evaluate: CostFunction, description: str = ""
+    name: str,
+    label: str,
+    evaluate: CostFunction,
+    description: str = "",
+    evaluate_batch: Optional[BatchCostFunction] = None,
 ) -> FunctionBackend:
-    """Build a backend from an evaluation function (does not register it)."""
+    """Build a backend from an evaluation function (does not register it).
+
+    ``evaluate_batch`` optionally supplies the vectorized whole-sweep
+    evaluator; leave it ``None`` for custom backends and the sweep machinery
+    falls back to calling ``evaluate`` once per size.
+    """
     if not name:
         raise ValueError("a cost-model backend needs a non-empty name")
     return FunctionBackend(
-        name=name, label=label or name, evaluate=evaluate, description=description
+        name=name, label=label or name, evaluate=evaluate,
+        description=description, evaluate_batch=evaluate_batch,
     )
+
+
+def backend_supports_batch(backend: CostModel) -> bool:
+    """Whether a backend object offers vectorized whole-sweep evaluation."""
+    return bool(getattr(backend, "supports_batch", False)) and callable(
+        getattr(backend, "batch_cost", None)
+    )
+
+
+def all_backends_support_batch(names: Sequence[str]) -> bool:
+    """Whether every named registered backend has a batch evaluator.
+
+    Unknown names yield ``False`` so callers route through the scalar path,
+    which raises its usual descriptive :class:`KeyError`.
+    """
+    try:
+        return all(backend_supports_batch(get_backend(name)) for name in names)
+    except KeyError:
+        return False
 
 
 # --------------------------------------------------------------------- #
@@ -176,6 +267,42 @@ def evaluate_backends(
         name: get_backend(name).cost(metrics, machine, parameters, occupancy)
         for name in names
     }
+
+
+def evaluate_backends_batch(
+    names: Sequence[str],
+    batch: MetricsBatch,
+    machine: ATGPUMachine,
+    parameters: CostParameters,
+    occupancy: Optional[OccupancyModel] = None,
+) -> Dict[str, np.ndarray]:
+    """Evaluate several backends over a whole sweep, keyed by name.
+
+    Backends with a vectorized evaluator run as one array program; backends
+    without one (custom registrations) fall back to their scalar ``cost``
+    once per size, using the per-size metrics the batch retains.  Either
+    way the result is one ``(len(batch.sizes),)`` array per backend.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for name in names:
+        backend = get_backend(name)
+        if backend_supports_batch(backend):
+            out[name] = backend.batch_cost(batch, machine, parameters, occupancy)
+            continue
+        if not batch.metrics:
+            raise ValueError(
+                f"backend {name!r} has no batch evaluation and the batch "
+                "retains no per-size metrics for the scalar fallback; "
+                "compile the batch from metrics objects"
+            )
+        out[name] = np.array(
+            [
+                backend.cost(metrics, machine, parameters, occupancy)
+                for metrics in batch.metrics
+            ],
+            dtype=float,
+        )
+    return out
 
 
 # --------------------------------------------------------------------- #
@@ -249,6 +376,9 @@ def make_async_backend(
     def _cost(metrics, machine, parameters, occupancy) -> float:
         return overlapped_cost(metrics, machine, parameters, occupancy, chunks)
 
+    def _batch(batch, machine, parameters, occupancy):
+        return overlapped_cost_batch(batch, machine, parameters, occupancy, chunks)
+
     default = chunks == DEFAULT_ASYNC_CHUNKS
     return make_backend(
         name or ("atgpu-async" if default else f"atgpu-async{chunks}"),
@@ -256,6 +386,7 @@ def make_async_backend(
         _cost,
         "Expression (2) with per-round transfers double buffered into "
         f"{chunks} chunks and overlapped with the kernel",
+        evaluate_batch=_batch,
     )
 
 
@@ -288,6 +419,12 @@ def make_sharded_backend(
             devices=devices, contention=contention,
         )
 
+    def _batch(batch, machine, parameters, occupancy):
+        return sharded_cost_batch(
+            batch, machine, parameters, occupancy,
+            devices=devices, contention=contention,
+        )
+
     default = (
         devices == DEFAULT_SHARD_DEVICES
         and contention == DEFAULT_SHARD_CONTENTION
@@ -308,25 +445,30 @@ def make_sharded_backend(
         _cost,
         f"Expression (2) sharded across {devices} devices (straggler time, "
         f"interconnect contention {contention:g})",
+        evaluate_batch=_batch,
     )
 
 
 ATGPU_BACKEND = register_backend(make_backend(
     "atgpu", "ATGPU", _atgpu_cost,
     "GPU-cost of Expression (2): transfer + occupancy-scaled kernel cost",
+    evaluate_batch=gpu_cost_batch,
 ))
 SWGPU_BACKEND = register_backend(make_backend(
     "swgpu", "SWGPU", _swgpu_cost,
     "Expression (2) with the transfer terms removed (α = β = 0)",
+    evaluate_batch=swgpu_cost_batch,
 ))
 PERFECT_BACKEND = register_backend(make_backend(
     "perfect", "Perfect", _perfect_cost,
     "perfect-GPU cost of Expression (1): every thread block runs at once",
+    evaluate_batch=perfect_cost_batch,
 ))
 AGPU_BACKEND = register_backend(make_backend(
     "agpu", "AGPU", _agpu_time,
     "AGPU asymptotic time view (unit-less device steps; AGPU has no cost "
     "function)",
+    evaluate_batch=agpu_time_batch,
 ))
 ATGPU_ASYNC_BACKEND = register_backend(make_async_backend())
 ATGPU_MULTI_BACKEND = register_backend(make_sharded_backend())

@@ -23,7 +23,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.analysis import AnalysisReport, analyse_metrics
-from repro.core.backends import DEFAULT_BACKENDS, backend_label
+from repro.core.backends import (
+    DEFAULT_BACKENDS,
+    all_backends_support_batch,
+    backend_label,
+    evaluate_backends_batch,
+)
+from repro.core.batch import MetricsBatch, batch_breakdown
 from repro.core.cost import CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
@@ -46,11 +52,13 @@ class SweepPrediction:
 
     A prediction carries one cost series per backend name plus the predicted
     transfer proportions ``ΔT``.  It is normally built by
-    :func:`predict_sweep` (which also attaches the per-size
-    :class:`~repro.core.analysis.AnalysisReport` objects), but can equally be
+    :func:`predict_sweep`: the default vectorized path fills every series
+    (including :attr:`transfers` / :attr:`kernels`) from one batch
+    evaluation, while the scalar path additionally attaches the per-size
+    :class:`~repro.core.analysis.AnalysisReport` objects.  It can equally be
     reconstructed from stored series alone — e.g. when a cached
-    :class:`~repro.experiments.results.Result` is loaded from disk — in which
-    case the report-only accessors raise a clear error.
+    :class:`~repro.experiments.results.Result` is loaded from disk — in
+    which case the report-only accessors raise a clear error.
     """
 
     algorithm: str
@@ -58,6 +66,11 @@ class SweepPrediction:
     reports: List[AnalysisReport] = field(default_factory=list)
     series: Dict[str, np.ndarray] = field(default_factory=dict)
     proportions: Optional[Sequence[float]] = None
+    #: Predicted transfer / kernel cost per size.  Populated by the batch
+    #: path (which builds no per-size reports); the report-based accessors
+    #: are used when absent.
+    transfers: Optional[Sequence[float]] = None
+    kernels: Optional[Sequence[float]] = None
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -74,8 +87,13 @@ class SweepPrediction:
                     f"series for backend {name!r} has {len(values)} points "
                     f"but the sweep has {len(self.sizes)}"
                 )
-        if self.proportions is not None and len(self.proportions) != len(self.sizes):
-            raise ValueError("proportions must align with the sweep sizes")
+        for label, values in (
+            ("proportions", self.proportions),
+            ("transfers", self.transfers),
+            ("kernels", self.kernels),
+        ):
+            if values is not None and len(values) != len(self.sizes):
+                raise ValueError(f"{label} must align with the sweep sizes")
 
     # ------------------------------------------------------------------ #
     # Generic per-backend access
@@ -133,12 +151,16 @@ class SweepPrediction:
     @property
     def transfer_costs(self) -> np.ndarray:
         """Predicted transfer cost per size."""
+        if self.transfers is not None:
+            return np.asarray(self.transfers, dtype=float)
         self._require_reports("transfer_costs")
         return np.array([r.transfer_cost for r in self.reports], dtype=float)
 
     @property
     def kernel_costs(self) -> np.ndarray:
         """Predicted kernel-side cost per size."""
+        if self.kernels is not None:
+            return np.asarray(self.kernels, dtype=float)
         self._require_reports("kernel_costs")
         return np.array([r.kernel_cost for r in self.reports], dtype=float)
 
@@ -228,6 +250,64 @@ class SweepObservation:
         }
 
 
+#: The paths :func:`predict_sweep` can take over a sweep.
+SWEEP_PATHS: Tuple[str, ...] = ("auto", "batch", "scalar")
+
+
+def predict_sweep_batch(
+    algorithm: str,
+    batch: MetricsBatch,
+    machine: ATGPUMachine,
+    parameters: CostParameters,
+    occupancy: OccupancyModel,
+    backends: Optional[Sequence[str]] = None,
+) -> SweepPrediction:
+    """Evaluate cost-model backends over a pre-compiled metrics batch.
+
+    This is the vectorized core behind :func:`predict_sweep`: every backend
+    family prices the whole sweep as one array program (custom backends
+    without a batch evaluator fall back to one scalar call per size), and
+    the transfer / kernel / ``ΔT`` series come from one vectorized ATGPU
+    breakdown.  The resulting prediction carries no per-size analysis
+    reports — every series accessor is served from the precomputed arrays,
+    bit-for-bit equal to what the scalar path produces.
+    """
+    names = tuple(backends) if backends is not None else DEFAULT_BACKENDS
+    batch.validate_against(machine)
+    gpu = batch_breakdown(
+        batch, machine, parameters, occupancy,
+        use_occupancy=True, validate=False,
+    )
+    perfect = batch_breakdown(
+        batch, machine, parameters, occupancy,
+        use_occupancy=False, validate=False,
+    )
+    swgpu = batch_breakdown(
+        batch, machine, parameters.without_transfer(), occupancy,
+        use_occupancy=True, validate=False,
+    )
+    # Like analyse_metrics, always provide the built-in trio (from the
+    # breakdowns just computed): results and figure builders rely on those
+    # series being available.
+    series = {
+        "atgpu": gpu.total,
+        "swgpu": swgpu.total,
+        "perfect": perfect.total,
+    }
+    extra = tuple(name for name in names if name not in series)
+    series.update(
+        evaluate_backends_batch(extra, batch, machine, parameters, occupancy)
+    )
+    return SweepPrediction(
+        algorithm=algorithm,
+        sizes=list(batch.sizes),
+        series=series,
+        proportions=gpu.transfer_proportion,
+        transfers=gpu.transfer,
+        kernels=gpu.kernel,
+    )
+
+
 def predict_sweep(
     algorithm: str,
     sizes: Sequence[int],
@@ -236,14 +316,35 @@ def predict_sweep(
     parameters: CostParameters,
     occupancy: OccupancyModel,
     backends: Optional[Sequence[str]] = None,
+    path: str = "auto",
 ) -> SweepPrediction:
     """Evaluate the requested cost-model backends over a sweep of sizes.
 
     ``backends`` defaults to :data:`repro.core.backends.DEFAULT_BACKENDS`.
+
+    ``path`` selects the evaluation strategy:
+
+    * ``"auto"`` (default) — vectorized batch evaluation when every
+      requested backend supports it (all built-ins do), otherwise the
+      scalar per-size path.  Both produce identical series.
+    * ``"batch"`` — force the vectorized path; backends without a batch
+      evaluator fall back to scalar calls per size inside it.
+    * ``"scalar"`` — force the original per-size path, which additionally
+      attaches the per-size :class:`~repro.core.analysis.AnalysisReport`
+      objects (useful for per-round introspection).
     """
     if not sizes:
         raise ValueError("sizes must not be empty")
+    if path not in SWEEP_PATHS:
+        raise ValueError(
+            f"path must be one of {', '.join(SWEEP_PATHS)}; got {path!r}"
+        )
     names = tuple(backends) if backends is not None else DEFAULT_BACKENDS
+    if path == "batch" or (path == "auto" and all_backends_support_batch(names)):
+        batch = MetricsBatch.compile(algorithm, sizes, metrics_factory)
+        return predict_sweep_batch(
+            algorithm, batch, machine, parameters, occupancy, backends=names
+        )
     reports = [
         analyse_metrics(
             metrics_factory(int(n)),

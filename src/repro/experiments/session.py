@@ -31,11 +31,15 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Dict, List, Optional, Protocol, Sequence, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.algorithms.base import GPUAlgorithm
 from repro.algorithms.registry import create
+from repro.core.backends import all_backends_support_batch
+from repro.core.batch import MetricsBatch
+from repro.core.prediction import predict_sweep_batch
 from repro.experiments.results import Result, ResultSet
 from repro.experiments.spec import ExperimentSpec, paper_specs
 
@@ -68,6 +72,62 @@ def execute_spec(
     return Result.from_sweeps(spec, prediction, observation)
 
 
+def execute_specs(specs: Sequence[ExperimentSpec]) -> List[Result]:
+    """Execute a batch of specs, sharing compiled metrics within groups.
+
+    Specs naming the same ``(algorithm, preset)`` pair describe cost-model
+    evaluations over the very same metrics (only sizes, seeds, backends and
+    device configurations may differ), so one :class:`MetricsBatch` compiled
+    over the union of the group's sweep sizes serves every spec's prediction
+    — each spec just selects its columns.  Specs whose backends lack batch
+    support keep the per-spec scalar path (reports included).  Observations
+    are simulated per spec as before.  Order is preserved.
+    """
+    results: List[Optional[Result]] = [None] * len(specs)
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for index, spec in enumerate(specs):
+        groups.setdefault((spec.algorithm, spec.preset), []).append(index)
+    for (_, preset_name), indices in groups.items():
+        first = specs[indices[0]]
+        algorithm = create(first.algorithm)
+        preset = first.resolved_preset()
+        sizes_for: Dict[int, List[int]] = {
+            index: specs[index].resolved_sizes(algorithm) for index in indices
+        }
+        batchable = {
+            index for index in indices
+            if all_backends_support_batch(specs[index].backends)
+        }
+        batch: Optional[MetricsBatch] = None
+        column: Dict[int, int] = {}
+        if batchable:
+            union = sorted({n for i in batchable for n in sizes_for[i]})
+            batch = MetricsBatch.compile(
+                algorithm.name, union,
+                lambda n: algorithm.metrics(n, preset.machine),
+            )
+            column = {n: j for j, n in enumerate(union)}
+        for index in indices:
+            spec = specs[index]
+            sizes = sizes_for[index]
+            if batch is not None and index in batchable:
+                sub = batch.select([column[n] for n in sizes])
+                prediction = predict_sweep_batch(
+                    algorithm.name, sub, preset.machine,
+                    preset.parameters, preset.occupancy,
+                    backends=spec.backends,
+                )
+            else:
+                prediction = algorithm.predict_sweep(
+                    sizes, preset=preset, backends=spec.backends
+                )
+            observation = algorithm.observe_sweep(
+                sizes, config=spec.resolved_device_config(), seed=spec.seed
+            )
+            results[index] = Result.from_sweeps(spec, prediction, observation)
+    return [result for result in results if result is not None]
+
+
 class ExecutionEngine(Protocol):
     """What a session requires of an execution engine."""
 
@@ -79,20 +139,29 @@ class ExecutionEngine(Protocol):
 
 
 class SerialEngine:
-    """Execute specs one after another in the current process."""
+    """Execute specs one after another in the current process.
+
+    Batches route through :func:`execute_specs`, so specs sharing an
+    ``(algorithm, preset)`` pair also share one compiled
+    :class:`~repro.core.batch.MetricsBatch` for their predictions.
+    """
 
     name = "serial"
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
-        return [execute_spec(spec) for spec in specs]
+        return execute_specs(specs)
 
 
 class ProcessPoolEngine:
     """Execute a batch of specs across a pool of worker processes.
 
     Falls back to in-process execution for batches of one (a pool buys
-    nothing there).  ``max_workers`` defaults to the smaller of the batch
-    size and the CPU count.
+    nothing there).  ``max_workers`` defaults to the CPU count.  The pool is
+    created lazily on the first multi-spec batch and **reused across
+    batches** — spawning workers costs tens of milliseconds per process, so
+    a per-batch pool would dominate short sweeps.  Call :meth:`close` (or
+    use the owning :class:`Session` as a context manager) to shut the
+    workers down.
 
     .. note::
         Specs naming backends or presets registered at runtime (via
@@ -102,7 +171,8 @@ class ProcessPoolEngine:
         parent's registries.  Under ``spawn`` (macOS / Windows default)
         workers re-import the package and only see the built-ins — register
         custom entries at import time of a module the workers load, or use
-        the serial engine for such specs.
+        the serial engine for such specs.  A reused pool additionally
+        snapshots the registries as of its first batch under ``fork``.
     """
 
     name = "process"
@@ -111,13 +181,43 @@ class ProcessPoolEngine:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def pool(self) -> Optional[ProcessPoolExecutor]:
+        """The live executor, or ``None`` before first use / after close."""
+        return self._pool
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers or os.cpu_count() or 1
+            )
+        return self._pool
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
         if len(specs) <= 1:
             return [execute_spec(spec) for spec in specs]
-        workers = self.max_workers or min(len(specs), os.cpu_count() or 1)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_spec, specs))
+        try:
+            return list(self._ensure_pool().map(execute_spec, specs))
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor; drop it so the next
+            # batch starts a healthy pool instead of failing forever (the
+            # old per-batch pool recovered implicitly).
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut down the worker pool (a later batch re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 #: Engine factories by name, for ``Session(engine="...")``.
@@ -169,6 +269,25 @@ class Session:
         self.cache_misses = 0
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release engine resources (e.g. a persistent worker pool).
+
+        The session stays usable afterwards — an engine with a lazy pool
+        simply re-creates it on the next batch.
+        """
+        close = getattr(self.engine, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Cache plumbing
     # ------------------------------------------------------------------ #
     @property
@@ -188,9 +307,15 @@ class Session:
             return None
         return self.cache_dir / f"{key}.json"
 
-    def lookup(self, spec: ExperimentSpec) -> Optional[Result]:
-        """Cached result for a spec, or ``None`` (does not touch counters)."""
-        key = spec.spec_hash()
+    def lookup(
+        self, spec: ExperimentSpec, key: Optional[str] = None
+    ) -> Optional[Result]:
+        """Cached result for a spec, or ``None`` (does not touch counters).
+
+        ``key`` optionally supplies the pre-computed ``spec_hash`` so batch
+        callers hash each spec exactly once per call.
+        """
+        key = key if key is not None else spec.spec_hash()
         result = self._memory.get(key)
         if result is not None:
             return result
@@ -207,8 +332,10 @@ class Session:
             return result
         return None
 
-    def _store(self, spec: ExperimentSpec, result: Result) -> None:
-        key = spec.spec_hash()
+    def _store(
+        self, spec: ExperimentSpec, result: Result, key: Optional[str] = None
+    ) -> None:
+        key = key if key is not None else spec.spec_hash()
         self._memory[key] = result
         path = self._disk_path(key)
         if path is not None:
@@ -231,13 +358,14 @@ class Session:
         """
         if not use_cache:
             return execute_spec(spec, algorithm=algorithm)
-        cached = self.lookup(spec)
+        key = spec.spec_hash()
+        cached = self.lookup(spec, key=key)
         if cached is not None:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
         result = execute_spec(spec, algorithm=algorithm)
-        self._store(spec, result)
+        self._store(spec, result, key=key)
         return result
 
     def run_many(
@@ -261,12 +389,12 @@ class Session:
         slots: List[Optional[Result]] = [None] * len(specs)
         pending: Dict[str, List[int]] = {}
         for index, spec in enumerate(specs):
-            cached = self.lookup(spec)
+            key = spec.spec_hash()
+            cached = self.lookup(spec, key=key)
             if cached is not None:
                 self.cache_hits += 1
                 slots[index] = cached
             else:
-                key = spec.spec_hash()
                 if key in pending:
                     self.cache_hits += 1
                 else:
@@ -275,10 +403,10 @@ class Session:
         if pending:
             to_run = [specs[indices[0]] for indices in pending.values()]
             fresh = self.engine.map(to_run)
-            for spec, result, indices in zip(
-                to_run, fresh, pending.values()
+            for key, result, indices in zip(
+                pending, fresh, pending.values()
             ):
-                self._store(spec, result)
+                self._store(specs[indices[0]], result, key=key)
                 for index in indices:
                     slots[index] = result
         return ResultSet(results=[slot for slot in slots if slot is not None])

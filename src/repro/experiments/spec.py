@@ -177,9 +177,17 @@ class ExperimentSpec:
 
         Computed over the canonical JSON, so it covers *every* field
         (including seed, preset and device configuration) and is identical
-        across processes and interpreter runs.
+        across processes and interpreter runs.  The spec is frozen, so the
+        hash is computed once and memoised on the instance — cache lookups
+        no longer re-serialise the spec on every call.
         """
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+        cached = self.__dict__.get("_spec_hash")
+        if cached is None:
+            cached = hashlib.sha256(
+                self.to_json().encode("utf-8")
+            ).hexdigest()[:16]
+            object.__setattr__(self, "_spec_hash", cached)
+        return cached
 
 
 def paper_specs(

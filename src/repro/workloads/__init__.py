@@ -19,6 +19,7 @@ from repro.workloads.sweeps import (
     Sweep,
     VECTOR_ADDITION_SMALL,
     VECTOR_ADDITION_SWEEP,
+    dense_sweep,
     sweep_for,
 )
 
@@ -39,5 +40,6 @@ __all__ = [
     "Sweep",
     "VECTOR_ADDITION_SMALL",
     "VECTOR_ADDITION_SWEEP",
+    "dense_sweep",
     "sweep_for",
 ]

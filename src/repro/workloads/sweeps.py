@@ -88,6 +88,40 @@ SHARD_COUNT_SWEEP = Sweep(
     description="device counts for the multi-GPU sharding experiments",
 )
 
+def dense_sweep(
+    points: int = 256,
+    lo: int = 100_000,
+    hi: int = 10_000_000,
+    name: str = "",
+) -> Sweep:
+    """An evenly spaced ``points``-size sweep for throughput benchmarks.
+
+    The paper's figures use ~10 sizes; serving sweeps at traffic scale means
+    evaluating hundreds of points per request, which is what the vectorized
+    batch engine is benchmarked on (``benchmarks/bench_sweep.py``).  Sizes
+    are strictly increasing, so ``points`` must fit in ``[lo, hi]``.
+    """
+    if points < 1:
+        raise ValueError(f"points must be >= 1, got {points!r}")
+    if not 0 < lo <= hi:
+        raise ValueError(f"need 0 < lo <= hi, got lo={lo!r}, hi={hi!r}")
+    if points > hi - lo + 1:
+        raise ValueError(
+            f"cannot fit {points} distinct sizes between {lo} and {hi}"
+        )
+    if points == 1:
+        sizes = [lo]
+    else:
+        step = (hi - lo) / (points - 1)
+        sizes = sorted({int(round(lo + i * step)) for i in range(points)})
+    return Sweep(
+        name=name or f"dense_{points}",
+        sizes=sizes,
+        description=f"{points} evenly spaced sizes in [{lo}, {hi}] "
+                    "for batch-throughput benchmarks",
+    )
+
+
 #: Sweeps keyed by the algorithm registry name, paper-scale and reduced.
 PAPER_SWEEPS = {
     "vector_addition": VECTOR_ADDITION_SWEEP,

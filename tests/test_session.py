@@ -418,3 +418,132 @@ class TestRunnerShim:
         # Faster device: the observed totals must actually differ.
         assert not np.allclose(retimed.observation.totals,
                                reseeded.observation.totals)
+
+
+class TestGroupedBatchExecution:
+    """Session.run_many routes homogeneous groups through one MetricsBatch."""
+
+    def test_grouped_serial_matches_per_spec_execution(self):
+        specs = [
+            tiny_spec(seed=0),
+            tiny_spec(seed=1),
+            tiny_spec(seed=0, sizes=(2_000, 8_000)),
+            tiny_spec("reduction", sizes=(1 << 12, 1 << 13)),
+        ]
+        grouped = Session(engine="serial").run_many(specs, use_cache=False)
+        for spec, result in zip(specs, grouped):
+            direct = execute_spec(spec)
+            assert result.spec == spec
+            assert result.predicted == direct.predicted
+            assert result.predicted_transfer_proportions == \
+                direct.predicted_transfer_proportions
+            assert result.observed_totals == direct.observed_totals
+
+    def test_grouped_execution_handles_unbatchable_backends(self):
+        custom = make_backend(
+            "test-session-scalar-only", "scalar-only",
+            lambda metrics, machine, params, occ:
+                get_backend("atgpu").cost(metrics, machine, params, occ),
+        )
+        register_backend(custom)
+        try:
+            specs = [
+                tiny_spec(),
+                tiny_spec(backends=("atgpu", "test-session-scalar-only")),
+            ]
+            results = Session(engine="serial").run_many(specs, use_cache=False)
+            assert np.allclose(
+                results[1].backend_series("test-session-scalar-only"),
+                results[1].backend_series("atgpu"),
+            )
+            assert results[0].predicted == execute_spec(specs[0]).predicted
+        finally:
+            unregister_backend("test-session-scalar-only")
+
+    def test_grouped_execution_preserves_order_and_length(self):
+        specs = [
+            tiny_spec("reduction", sizes=(1 << 12,)),
+            tiny_spec(seed=2),
+            tiny_spec("reduction", sizes=(1 << 13,)),
+        ]
+        results = Session(engine="serial").run_many(specs, use_cache=False)
+        assert [r.spec for r in results] == specs
+
+
+class TestEngineAndSessionLifecycle:
+    def test_process_pool_engine_reuses_one_pool(self):
+        engine = ProcessPoolEngine(max_workers=2)
+        assert engine.pool is None  # lazy: no workers before the first batch
+        specs = [tiny_spec(seed=0), tiny_spec(seed=1)]
+        engine.map(specs)
+        first = engine.pool
+        assert first is not None
+        engine.map(specs)
+        assert engine.pool is first  # no per-batch teardown/respawn
+        engine.close()
+        assert engine.pool is None
+        engine.map(specs)  # usable again after close
+        assert engine.pool is not None and engine.pool is not first
+        engine.close()
+
+    def test_single_spec_batches_never_spawn_workers(self):
+        engine = ProcessPoolEngine(max_workers=2)
+        engine.map([tiny_spec()])
+        assert engine.pool is None
+
+    def test_broken_pool_is_dropped_so_the_next_batch_recovers(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        engine = ProcessPoolEngine(max_workers=2)
+
+        class PoisonedPool:
+            def map(self, fn, specs):
+                raise BrokenProcessPool("worker died")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        engine._pool = PoisonedPool()
+        with pytest.raises(BrokenProcessPool):
+            engine.map([tiny_spec(seed=0), tiny_spec(seed=1)])
+        assert engine.pool is None  # next map() starts a fresh pool
+        results = engine.map([tiny_spec(seed=0), tiny_spec(seed=1)])
+        assert len(results) == 2
+        engine.close()
+
+    def test_session_context_manager_closes_engine(self):
+        engine = ProcessPoolEngine(max_workers=2)
+        with Session(engine=engine) as session:
+            session.run_many(
+                [tiny_spec(seed=0), tiny_spec(seed=1)], use_cache=False
+            )
+            assert engine.pool is not None
+        assert engine.pool is None
+
+    def test_session_close_is_safe_for_serial_engine(self):
+        session = Session()
+        session.close()  # SerialEngine has no close(); must be a no-op
+        assert session.run(tiny_spec()) is not None
+
+
+class TestSpecHashMemoization:
+    def test_hash_computed_once_and_stable(self):
+        spec = tiny_spec(seed=4)
+        first = spec.spec_hash()
+        assert spec.__dict__.get("_spec_hash") == first
+        assert spec.spec_hash() is first  # served from the memo
+        # A fresh, equal spec computes the same digest independently.
+        assert tiny_spec(seed=4).spec_hash() == first
+
+    def test_with_overrides_does_not_inherit_stale_hash(self):
+        spec = tiny_spec(seed=4)
+        original = spec.spec_hash()
+        changed = spec.with_overrides(seed=5)
+        assert "_spec_hash" not in changed.__dict__
+        assert changed.spec_hash() != original
+
+    def test_json_roundtrip_hash_matches(self):
+        spec = tiny_spec(seed=6)
+        spec.spec_hash()
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.spec_hash() == spec.spec_hash()
