@@ -7,13 +7,20 @@ dense 256-point sweep, and the ``STREAM_CHUNK_SWEEP`` /
 * ``scalar`` — the original per-size path (one ``analyse_metrics`` plus one
   scalar backend call per size per backend),
 * ``batch``  — the vectorized path (one compiled
-  :class:`~repro.core.batch.MetricsBatch`, one array program per backend
+  :class:`~repro.core.batch.MetricsBatch` built through the algorithm's
+  array-native ``metrics_batch`` factory, one array program per backend
   family).
+
+Each entry additionally reports a **factory-time column**: how long the
+``MetricsBatch`` takes to compile through the scalar per-size metrics
+factory versus the vectorized whole-sweep factory (the metrics factories
+used to dominate the batch path at ~80 % of its time).
 
 Every entry asserts bit-for-bit parity between the two paths
 (``np.allclose(..., rtol=0, atol=0)``) before it is recorded, and the
 result is written as machine-readable JSON so the performance trajectory is
-tracked PR over PR (the CI ``perf-smoke`` lane uploads it as an artifact).
+tracked PR over PR (the CI ``perf-smoke`` lane uploads it as an artifact
+and asserts the dense-sweep speedup against the PR 4 baseline).
 
 Run from the repository root::
 
@@ -34,6 +41,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.algorithms import MatrixMultiplication, Reduction, VectorAddition
+from repro.core.batch import MetricsBatch
+from repro.core.presets import DEFAULT_PRESET
 from repro.core.backends import (
     get_backend,
     make_async_backend,
@@ -104,6 +113,16 @@ def _time_path(algorithm, sizes, backends, path: str, repeats: int) -> float:
     return best
 
 
+def _time_factory(build, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one batch-compilation path."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        build()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def bench_entry(
     name: str,
     algorithm,
@@ -130,6 +149,17 @@ def bench_entry(
     ))
     scalar_s = _time_path(algorithm, sizes, backends, "scalar", repeats)
     batch_s = _time_path(algorithm, sizes, backends, "batch", repeats)
+    machine = DEFAULT_PRESET.machine
+    factory_scalar_s = _time_factory(
+        lambda: MetricsBatch.compile(
+            algorithm.name, sizes,
+            lambda n: algorithm.metrics(n, machine),
+        ),
+        repeats,
+    )
+    factory_batch_s = _time_factory(
+        lambda: algorithm.compile_batch(sizes), repeats
+    )
     return {
         "name": name,
         "algorithm": algorithm.name,
@@ -138,6 +168,12 @@ def bench_entry(
         "scalar_s": scalar_s,
         "batch_s": batch_s,
         "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        "factory_scalar_s": factory_scalar_s,
+        "factory_batch_s": factory_batch_s,
+        "factory_speedup": (
+            factory_scalar_s / factory_batch_s
+            if factory_batch_s > 0 else float("inf")
+        ),
         "max_abs_diff": max_diff,
         "parity": parity,
     }
@@ -183,6 +219,7 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
         for name in added:
             unregister_backend(name)
     speedups = [entry["speedup"] for entry in entries]
+    factory_speedups = [entry["factory_speedup"] for entry in entries]
     dense = next(e for e in entries if e["name"].startswith("dense"))
     return {
         "benchmark": "vectorized-batch-sweep",
@@ -196,8 +233,12 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
             "min_speedup": min(speedups),
             "max_speedup": max(speedups),
             "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+            "geomean_factory_speedup": float(
+                np.exp(np.mean(np.log(factory_speedups)))
+            ),
             "dense_points": dense["points"],
             "dense_speedup": dense["speedup"],
+            "dense_factory_speedup": dense["factory_speedup"],
         },
     }
 
@@ -232,11 +273,15 @@ def main(argv: Sequence[str] = None) -> int:
             f"{entry['name']:<{width}}  {entry['points']:>4} pts  "
             f"scalar {entry['scalar_s'] * 1e3:8.2f} ms  "
             f"batch {entry['batch_s'] * 1e3:7.2f} ms  "
-            f"speedup {entry['speedup']:6.1f}x  {flag}"
+            f"speedup {entry['speedup']:6.1f}x  "
+            f"factory {entry['factory_scalar_s'] * 1e3:7.2f}/"
+            f"{entry['factory_batch_s'] * 1e3:5.2f} ms "
+            f"({entry['factory_speedup']:5.1f}x)  {flag}"
         )
     summary = report["summary"]
     print(
-        f"geomean speedup {summary['geomean_speedup']:.1f}x, "
+        f"geomean speedup {summary['geomean_speedup']:.1f}x "
+        f"(factory {summary['geomean_factory_speedup']:.1f}x), "
         f"dense {summary['dense_points']}-point sweep "
         f"{summary['dense_speedup']:.1f}x -> {args.out}"
     )

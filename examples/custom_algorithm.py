@@ -9,7 +9,10 @@ exactly that for SAXPY (``y = a·x + y``):
 2. validate it against the machine's rules and capacity limits,
 3. statically analyse it into metrics and evaluate the cost functions,
 4. execute the very same program on the simulator through the interpreter
-   and compare the observed transfer share with the prediction.
+   and compare the observed transfer share with the prediction,
+5. describe a whole *sweep* of sizes at once with an array-native
+   ``MetricsGrid`` (the ``metrics_batch`` extension point) and price every
+   size as one vectorized batch — bit-for-bit equal to the per-size path.
 
 Run with::
 
@@ -22,7 +25,9 @@ import sys
 
 import numpy as np
 
-from repro.core import GTX_650, analyse_metrics
+from repro.core import GTX_650, analyse_metrics, metrics_grid, round_arrays
+from repro.core.batch import MetricsBatch
+from repro.core.prediction import predict_sweep_batch
 from repro.pseudocode import (
     GlobalToShared,
     KernelLaunch,
@@ -83,7 +88,60 @@ def build_saxpy(n: int, b: int, a_scalar: float) -> Program:
     )
 
 
-def main(n: int = 200_000, a_scalar: float = 2.5) -> None:
+def saxpy_metrics_grid(sizes, machine):
+    """SAXPY metrics for a whole sweep of sizes, as one array program.
+
+    This is the array-native factory a :class:`repro.GPUAlgorithm` subclass
+    would expose as ``metrics_batch(ns, machine)`` (the base class falls
+    back to packing per-size ``metrics(n, machine)`` calls; overriding it
+    with columns like these skips the per-size objects entirely).  SAXPY is
+    one round of four warp operations (stage x, stage y, multiply-add,
+    write back): two inward arrays, one outward, 3 I/O blocks and two
+    ``b``-word shared arrays per thread block — exactly what the static
+    analyser derives from the pseudocode above.
+    """
+    ns = np.asarray(list(sizes), dtype=np.int64)
+    blocks = machine.thread_blocks_grid(ns)
+    return metrics_grid(ns, [round_arrays(
+        len(ns),
+        time=4.0,
+        io_blocks=3.0 * blocks,
+        inward_words=2.0 * ns, inward_transactions=2,
+        outward_words=ns.astype(float), outward_transactions=1,
+        global_words=2.0 * ns,
+        shared_words_per_mp=2.0 * machine.b,
+        thread_blocks=blocks,
+        label="saxpy",
+    )], name="saxpy")
+
+
+def sweep_demo(preset, sizes) -> None:
+    """Price a whole SAXPY sweep from one MetricsGrid and check parity."""
+    grid = saxpy_metrics_grid(sizes, preset.machine)
+    batch = MetricsBatch.from_grid(grid)
+    prediction = predict_sweep_batch(
+        "saxpy", batch, preset.machine, preset.parameters, preset.occupancy
+    )
+    print("\nVectorized sweep via metrics_batch-style grid "
+          "(one array program, no per-size metrics objects):")
+    for index, (n, cost, share) in enumerate(zip(
+        sizes, prediction.series_for("atgpu"),
+        prediction.predicted_transfer_proportions,
+    )):
+        # Parity with the per-size analysis is exact, not approximate.
+        report = analyse_metrics(
+            grid.metrics_at(index), preset.machine,
+            preset.parameters, preset.occupancy,
+            algorithm="saxpy", input_size=n,
+        )
+        assert report.gpu_cost == cost
+        print(f"  n = {n:>9,}: ATGPU cost {cost:.6f} s, ΔT = {share:.3f}")
+
+
+# The interpreter executes every block of a DSL kernel functionally, and DSL
+# programs have no vectorised fallback: n must stay within
+# functional_block_limit (4096 blocks) x warp width (32) = 131,072 elements.
+def main(n: int = 100_000, a_scalar: float = 2.5) -> None:
     preset = GTX_650
     program = build_saxpy(n, preset.machine.b, a_scalar)
 
@@ -106,9 +164,12 @@ def main(n: int = 200_000, a_scalar: float = 2.5) -> None:
     assert np.allclose(result.outputs["Out"], a_scalar * x + y)
     print(f"\nSimulated run: total {result.total_time_s * 1e3:.3f} ms, "
           f"ΔE = {result.observed_transfer_proportion:.3f} (result verified)")
+
+    sweep_demo(preset, [n // 4, n // 2, n, 2 * n])
+
     print("\nLike vector addition, SAXPY is transfer-bound: the model says the")
     print("kernel is not worth optimising before the transfers are.")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 100_000)

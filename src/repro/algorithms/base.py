@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.analysis import AnalysisReport, analyse_metrics
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics
+from repro.core.metrics import AlgorithmMetrics, MetricsGrid
 from repro.core.prediction import (
     SweepObservation,
     SweepPrediction,
@@ -197,6 +197,30 @@ class GPUAlgorithm(abc.ABC):
     def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
         """Hand-derived ATGPU metrics of the algorithm at size ``n``."""
 
+    def metrics_batch(
+        self, ns: Sequence[int], machine: ATGPUMachine
+    ) -> MetricsGrid:
+        """Array-native metrics of the algorithm over a whole size vector.
+
+        The Section IV analyses are closed-form in ``n``, so an algorithm
+        can describe an entire sweep as per-round NumPy columns instead of
+        one :class:`~repro.core.metrics.AlgorithmMetrics` per size.  Every
+        built-in algorithm overrides this with a true vectorized factory
+        whose grid is **bit-for-bit** equal to calling :meth:`metrics` per
+        size; the default here is the scalar-loop fallback (still packed
+        column-wise, so custom algorithms get the cheap packing for free).
+        """
+        return MetricsGrid.from_metrics(
+            ns,
+            [self.metrics(int(n), machine) for n in ns],
+            name=self.name,
+        )
+
+    @property
+    def supports_metrics_batch(self) -> bool:
+        """Whether this algorithm overrides :meth:`metrics_batch`."""
+        return type(self).metrics_batch is not GPUAlgorithm.metrics_batch
+
     @abc.abstractmethod
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         """The algorithm's ATGPU pseudocode listing at size ``n``."""
@@ -233,7 +257,9 @@ class GPUAlgorithm(abc.ABC):
 
         ``path`` selects the evaluation strategy (see
         :func:`repro.core.prediction.predict_sweep`): the default ``"auto"``
-        vectorizes the whole sweep when every backend supports it.
+        vectorizes the whole sweep when every backend supports it, compiling
+        the metrics through :meth:`metrics_batch` (no per-size
+        :class:`~repro.core.metrics.RoundMetrics` objects).
         """
         sizes = list(sizes) if sizes is not None else self.default_sizes()
         return predict_sweep(
@@ -245,6 +271,7 @@ class GPUAlgorithm(abc.ABC):
             occupancy=preset.occupancy,
             backends=backends,
             path=path,
+            grid_factory=lambda ns: self.metrics_batch(ns, preset.machine),
         )
 
     def compile_batch(
@@ -254,12 +281,15 @@ class GPUAlgorithm(abc.ABC):
     ):
         """Pack this algorithm's per-round metrics for a sweep into a
         :class:`~repro.core.batch.MetricsBatch` (compiled once, evaluated by
-        any backend family as an array program)."""
+        any backend family as an array program).  Compilation goes through
+        :meth:`metrics_batch`, so algorithms with a vectorized factory
+        describe the whole sweep without per-size metrics objects."""
         from repro.core.batch import MetricsBatch
 
         sizes = list(sizes) if sizes is not None else self.default_sizes()
         return MetricsBatch.compile(
-            self.name, sizes, lambda n: self.metrics(n, preset.machine)
+            self.name, sizes,
+            grid_factory=lambda ns: self.metrics_batch(ns, preset.machine),
         )
 
     # ------------------------------------------------------------------ #

@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.algorithms.base import GPUAlgorithm, RunResult
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     GlobalToShared,
     KernelLaunch,
@@ -195,6 +202,39 @@ class Histogram(GPUAlgorithm):
             label="merge partials",
         )
         return AlgorithmMetrics([build_round, merge_round], name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics`: build + merge phases over a size vector."""
+        sizes = size_vector(ns)
+        b = machine.b
+        ept = self.elements_per_thread
+        blocks = np.ceil(sizes / (b * ept)).astype(np.int64)
+        bin_blocks = math.ceil(self.bins / b)
+        global_words = (sizes + blocks * self.bins + self.bins).astype(float)
+        n_sizes = len(sizes)
+        build_round = round_arrays(
+            n_sizes,
+            # Per chunk: load and scatter (worst-case b-way serialisation is
+            # charged as b operations), plus the partial write-back.
+            time=float(ept) * (2.0 + float(b)),
+            io_blocks=(blocks * (ept + bin_blocks)).astype(float),
+            inward_words=sizes.astype(float), inward_transactions=1,
+            global_words=global_words,
+            shared_words_per_mp=float(self.bins),
+            thread_blocks=blocks,
+            label="per-block histograms",
+        )
+        merge_round = round_arrays(
+            n_sizes,
+            time=blocks.astype(float),
+            io_blocks=(bin_blocks * (blocks + 1)).astype(float),
+            outward_words=float(self.bins), outward_transactions=1,
+            global_words=global_words,
+            shared_words_per_mp=float(b),
+            thread_blocks=max(1, bin_blocks),
+            label="merge partials",
+        )
+        return metrics_grid(sizes, [build_round, merge_round], name=self.name)
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b

@@ -27,7 +27,14 @@ import numpy as np
 
 from repro.algorithms.base import GPUAlgorithm, RunResult
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     Barrier,
     GlobalToShared,
@@ -165,6 +172,31 @@ class MatrixMultiplication(GPUAlgorithm):
             label="matrix multiplication",
         )
         return AlgorithmMetrics([round_metrics], name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics` over a vector of matrix sides.
+
+        The tile width ``b = min(machine.b, n)`` is itself size-dependent,
+        so every derived quantity is a per-size column.
+        """
+        sizes = size_vector(ns)
+        b = np.minimum(machine.b, sizes)
+        tiles = np.ceil(sizes / b).astype(np.int64)
+        blocks = tiles ** 2
+        io_per_block = tiles * 2 * b + b  # load A+B tiles each k-step, store C tile
+        return metrics_grid(sizes, [round_arrays(
+            len(sizes),
+            time=(sizes * b).astype(float),
+            io_blocks=(blocks * io_per_block).astype(float),
+            inward_words=2.0 * sizes * sizes,
+            outward_words=(sizes * sizes).astype(float),
+            inward_transactions=2,
+            outward_transactions=1,
+            global_words=3.0 * sizes * sizes,
+            shared_words_per_mp=3.0 * b * b,
+            thread_blocks=blocks,
+            label="matrix multiplication",
+        )], name=self.name)
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         ensure_positive_int(n, "n")

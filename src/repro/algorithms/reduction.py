@@ -36,7 +36,14 @@ from repro.algorithms.base import (
 )
 from repro.core.transfer import TransferDirection
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     Barrier,
     GlobalToShared,
@@ -182,6 +189,58 @@ class Reduction(GPUAlgorithm):
                 label=f"reduction level {index + 1} ({size} values)",
             ))
         return AlgorithmMetrics(rounds, name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics`: the log tree over a size vector.
+
+        The per-size round count varies (``⌈log_b n⌉`` levels), so the
+        recurrence iterates level by level over the whole vector — each
+        level's ``ceil`` mirrors the scalar :func:`reduction_rounds` float
+        division exactly — and deeper levels are simply marked absent for
+        the sizes whose trees already bottomed out.
+        """
+        sizes = size_vector(ns)
+        b = machine.b
+        tree_depth = max(1.0, math.log2(b))
+        time = 2.0 + 2.0 * tree_depth
+        n_sizes = len(sizes)
+        # Level sizes n, ⌈n/b⌉, ... while > 1; n = 1 keeps its single round.
+        levels = []
+        current = sizes.copy()
+        present = np.ones(n_sizes, dtype=bool)
+        while True:
+            levels.append((current, present))
+            nxt = np.ceil(current / b).astype(np.int64)
+            present = present & (nxt > 1)
+            if not present.any():
+                break
+            current = nxt
+        depths = sum(
+            (p.astype(np.int64) for _, p in levels),
+            np.zeros(n_sizes, dtype=np.int64),
+        )
+        global_words = (sizes + np.ceil(sizes / b).astype(np.int64)).astype(float)
+        rounds = []
+        for index, (level_sizes, level_present) in enumerate(levels):
+            blocks = np.ceil(level_sizes / b).astype(np.int64)
+            last = depths == index + 1
+            rounds.append(round_arrays(
+                n_sizes,
+                # Load, log2(b) tree steps (divergent, so doubled), store.
+                time=time,
+                # One coalesced read per block plus the partial-sum write.
+                io_blocks=2.0 * blocks,
+                inward_words=sizes.astype(float) if index == 0 else 0.0,
+                inward_transactions=1 if index == 0 else 0,
+                outward_words=np.where(last, 1.0, 0.0),
+                outward_transactions=np.where(last, 1, 0),
+                global_words=global_words,
+                shared_words_per_mp=float(b),
+                thread_blocks=np.where(level_present, blocks, 1),
+                present=level_present,
+                label=f"reduction level {index + 1}",
+            ))
+        return metrics_grid(sizes, rounds, name=self.name)
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         ensure_positive_int(n, "n")

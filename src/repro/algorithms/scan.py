@@ -25,7 +25,14 @@ import numpy as np
 
 from repro.algorithms.base import GPUAlgorithm, RunResult
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     Barrier,
     GlobalToShared,
@@ -195,6 +202,49 @@ class PrefixSum(GPUAlgorithm):
             label="add offsets",
         )
         return AlgorithmMetrics([scan_round, totals_round, add_round], name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics`: the three scan phases over a size vector."""
+        sizes = size_vector(ns)
+        b = machine.b
+        blocks = np.ceil(sizes / b).astype(np.int64)
+        depth = max(1.0, math.log2(b))
+        phase_time = 2.0 + 2.0 * depth
+        totals_blocks = np.maximum(1, np.ceil(blocks / b).astype(np.int64))
+        global_words = (2 * sizes + blocks).astype(float)
+        n_sizes = len(sizes)
+        scan_round = round_arrays(
+            n_sizes,
+            time=phase_time,
+            io_blocks=3.0 * blocks,
+            inward_words=sizes.astype(float), inward_transactions=1,
+            global_words=global_words,
+            shared_words_per_mp=float(b),
+            thread_blocks=blocks,
+            label="block scan",
+        )
+        totals_round = round_arrays(
+            n_sizes,
+            time=phase_time,
+            io_blocks=3.0 * totals_blocks,
+            global_words=global_words,
+            shared_words_per_mp=float(b),
+            thread_blocks=totals_blocks,
+            label="scan of block totals",
+        )
+        add_round = round_arrays(
+            n_sizes,
+            time=3.0,
+            io_blocks=3.0 * blocks,
+            outward_words=sizes.astype(float), outward_transactions=1,
+            global_words=global_words,
+            shared_words_per_mp=float(b + 1),
+            thread_blocks=blocks,
+            label="add offsets",
+        )
+        return metrics_grid(
+            sizes, [scan_round, totals_round, add_round], name=self.name
+        )
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b

@@ -21,7 +21,14 @@ import numpy as np
 
 from repro.algorithms.base import GPUAlgorithm, RunResult
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     GlobalToShared,
     KernelLaunch,
@@ -154,6 +161,29 @@ class SpMV(GPUAlgorithm):
             label="csr spmv",
         )
         return AlgorithmMetrics([round_metrics], name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics`: the CSR round over a size vector."""
+        sizes = size_vector(ns)
+        b = machine.b
+        nnz = self.nnz_per_row
+        blocks = np.ceil(sizes / b).astype(np.int64)
+        total_nnz = sizes * nnz
+        return metrics_grid(sizes, [round_arrays(
+            len(sizes),
+            time=float(2 + nnz),
+            # Row pointers + per-nonzero value/colidx (coalesced) and the x
+            # gather which in the worst case touches one block per lane.
+            io_blocks=blocks * (2 + 2 * nnz + nnz * b / b) + blocks,
+            inward_words=(2 * total_nnz + (sizes + 1) + sizes).astype(float),
+            inward_transactions=4,
+            outward_words=sizes.astype(float),
+            outward_transactions=1,
+            global_words=(2 * total_nnz + (sizes + 1) + 2 * sizes).astype(float),
+            shared_words_per_mp=float(b),
+            thread_blocks=blocks,
+            label="csr spmv",
+        )], name=self.name)
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b

@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.algorithms.base import GPUAlgorithm, RunResult
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     GlobalToShared,
     KernelLaunch,
@@ -130,6 +137,39 @@ class Stencil1D(GPUAlgorithm):
                 label=f"stencil iteration {iteration + 1}",
             ))
         return AlgorithmMetrics(rounds, name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics`: ``iterations`` rounds over a size vector.
+
+        The round count is a fixed parameter (not size-dependent), so every
+        round is present at every size; only the per-size columns vary.
+        """
+        sizes = size_vector(ns)
+        b = machine.b
+        blocks = np.ceil(sizes / b).astype(np.int64)
+        n_sizes = len(sizes)
+        rounds = []
+        for iteration in range(self.iterations):
+            rounds.append(round_arrays(
+                n_sizes,
+                time=5.0,
+                # Segment read, two halo blocks, segment write.
+                io_blocks=4.0 * blocks,
+                inward_words=sizes.astype(float) if iteration == 0 else 0.0,
+                inward_transactions=1 if iteration == 0 else 0,
+                outward_words=(
+                    sizes.astype(float)
+                    if iteration == self.iterations - 1 else 0.0
+                ),
+                outward_transactions=(
+                    1 if iteration == self.iterations - 1 else 0
+                ),
+                global_words=2.0 * sizes,
+                shared_words_per_mp=float(b + 2),
+                thread_blocks=blocks,
+                label=f"stencil iteration {iteration + 1}",
+            ))
+        return metrics_grid(sizes, rounds, name=self.name)
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b

@@ -32,7 +32,14 @@ from repro.algorithms.base import (
 )
 from repro.core.transfer import TransferDirection
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, RoundMetrics
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+    size_vector,
+)
 from repro.pseudocode.ast_nodes import (
     GlobalToShared,
     KernelLaunch,
@@ -147,6 +154,24 @@ class VectorAddition(GPUAlgorithm):
             label="vector addition",
         )
         return AlgorithmMetrics([round_metrics], name=self.name)
+
+    def metrics_batch(self, ns, machine: ATGPUMachine) -> MetricsGrid:
+        """Vectorized :meth:`metrics`: the single round over a size vector."""
+        sizes = size_vector(ns)
+        k = machine.thread_blocks_grid(sizes)
+        return metrics_grid(sizes, [round_arrays(
+            len(sizes),
+            time=_KERNEL_OPERATIONS,
+            io_blocks=_IO_BLOCKS_PER_BLOCK * k,
+            inward_words=2.0 * sizes,
+            outward_words=sizes.astype(float),
+            inward_transactions=2,
+            outward_transactions=1,
+            global_words=3.0 * sizes,
+            shared_words_per_mp=3.0 * machine.b,
+            thread_blocks=k,
+            label="vector addition",
+        )], name=self.name)
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         ensure_positive_int(n, "n")

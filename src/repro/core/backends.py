@@ -280,16 +280,21 @@ def evaluate_backends_batch(
 
     Backends with a vectorized evaluator run as one array program; backends
     without one (custom registrations) fall back to their scalar ``cost``
-    once per size, using the per-size metrics the batch retains.  Either
-    way the result is one ``(len(batch.sizes),)`` array per backend.
+    once per size, using the per-size metrics the batch retains — or, for
+    batches compiled through an array-native factory, metrics materialised
+    from the grid on demand.  Either way the result is one
+    ``(len(batch.sizes),)`` array per backend.
     """
     out: Dict[str, np.ndarray] = {}
+    fallback_metrics = None
     for name in names:
         backend = get_backend(name)
         if backend_supports_batch(backend):
             out[name] = backend.batch_cost(batch, machine, parameters, occupancy)
             continue
-        if not batch.metrics:
+        if fallback_metrics is None:
+            fallback_metrics = batch.materialized_metrics()
+        if not fallback_metrics:
             raise ValueError(
                 f"backend {name!r} has no batch evaluation and the batch "
                 "retains no per-size metrics for the scalar fallback; "
@@ -298,7 +303,7 @@ def evaluate_backends_batch(
         out[name] = np.array(
             [
                 backend.cost(metrics, machine, parameters, occupancy)
-                for metrics in batch.metrics
+                for metrics in fallback_metrics
             ],
             dtype=float,
         )

@@ -46,12 +46,15 @@ import numpy as np
 
 from repro.core.cost import CostParameters
 from repro.core.machine import ATGPUMachine
-from repro.core.metrics import AlgorithmMetrics, CapacityError
+from repro.core.metrics import AlgorithmMetrics, CapacityError, MetricsGrid
 from repro.core.occupancy import OccupancyModel
 from repro.utils.validation import ensure_in_range, ensure_positive_int
 
 #: Signature of a per-size metrics factory (same as ``predict_sweep`` uses).
 BatchMetricsFactory = Callable[[int], AlgorithmMetrics]
+
+#: Signature of a whole-sweep (array-native) metrics factory.
+GridMetricsFactory = Callable[[Sequence[int]], MetricsGrid]
 
 
 def _column_sum(rows: np.ndarray) -> np.ndarray:
@@ -100,10 +103,57 @@ class MetricsBatch:
     max_shared_words: np.ndarray
     #: The per-size metrics the batch was packed from (scalar-fallback data).
     metrics: Tuple[AlgorithmMetrics, ...] = field(default=(), repr=False)
+    #: The array-native grid the batch was packed from, when compiled through
+    #: a vectorized factory; used to materialise scalar metrics on demand.
+    grid: Optional[MetricsGrid] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_grid(
+        cls,
+        grid: MetricsGrid,
+        algorithm: str = "",
+        metrics: Tuple[AlgorithmMetrics, ...] = (),
+    ) -> "MetricsBatch":
+        """Pack an array-native :class:`~repro.core.metrics.MetricsGrid`.
+
+        This is pure array work — each round's columns stack into one row of
+        the ``(rounds, sizes)`` grids, absent entries neutralised (zero
+        everything, one thread block) exactly as the scalar packing pads
+        ragged columns.
+        """
+        present = np.stack([r.present for r in grid.rounds])
+        mask = present.astype(float)
+
+        def stack(name: str, fill: float = 0.0) -> np.ndarray:
+            # masked_columns owns the absence semantics (shared with the
+            # grid's aggregate properties); only the float dtype is local.
+            columns = np.stack(grid.masked_columns(name, fill))
+            return columns.astype(float, copy=False)
+
+        return cls(
+            algorithm=algorithm or grid.name,
+            sizes=grid.sizes,
+            round_counts=present.sum(axis=0),
+            mask=mask,
+            time=stack("time"),
+            io_blocks=stack("io_blocks"),
+            inward_words=stack("inward_words"),
+            outward_words=stack("outward_words"),
+            inward_transactions=stack("inward_transactions"),
+            outward_transactions=stack("outward_transactions"),
+            shared_words_per_mp=stack("shared_words_per_mp"),
+            # Padded rounds keep one thread block so the wave count stays
+            # well-defined; their zero time makes the product vanish anyway.
+            thread_blocks=stack("thread_blocks", fill=1.0),
+            max_global_words=grid.max_global_words,
+            max_shared_words=grid.max_shared_words_per_mp,
+            metrics=tuple(metrics),
+            grid=grid,
+        )
+
     @classmethod
     def from_metrics(
         cls,
@@ -111,70 +161,23 @@ class MetricsBatch:
         metrics_list: Sequence[AlgorithmMetrics],
         algorithm: str = "",
     ) -> "MetricsBatch":
-        """Pack pre-built per-size metrics into a batch."""
+        """Pack pre-built per-size metrics into a batch.
+
+        The metrics pack column-wise through
+        :meth:`~repro.core.metrics.MetricsGrid.from_metrics` (one array build
+        per field per round level) rather than a per-cell Python double loop,
+        and the originals are retained in :attr:`metrics` for backends that
+        need the scalar fallback.
+        """
         if not sizes:
             raise ValueError("a metrics batch needs at least one input size")
         if len(sizes) != len(metrics_list):
             raise ValueError(
                 f"got {len(sizes)} sizes but {len(metrics_list)} metrics"
             )
-        n_sizes = len(sizes)
-        round_counts = np.array([len(m) for m in metrics_list], dtype=int)
-        depth = int(round_counts.max())
-
-        def grid(fill: float = 0.0) -> np.ndarray:
-            return np.full((depth, n_sizes), fill, dtype=float)
-
-        mask = grid()
-        time = grid()
-        io_blocks = grid()
-        inward_words = grid()
-        outward_words = grid()
-        inward_transactions = grid()
-        outward_transactions = grid()
-        shared_words = grid()
-        # Padded rounds keep one thread block so the wave count stays
-        # well-defined; their zero time makes the product vanish anyway.
-        thread_blocks = grid(1.0)
-        for col, metrics in enumerate(metrics_list):
-            for row, r in enumerate(metrics):
-                mask[row, col] = 1.0
-                time[row, col] = r.time
-                io_blocks[row, col] = r.io_blocks
-                inward_words[row, col] = r.inward_words
-                outward_words[row, col] = r.outward_words
-                inward_transactions[row, col] = r.inward_transactions
-                outward_transactions[row, col] = r.outward_transactions
-                shared_words[row, col] = r.shared_words_per_mp
-                thread_blocks[row, col] = r.thread_blocks
-        max_global = np.array(
-            [m.max_global_words for m in metrics_list], dtype=float
-        )
-        max_shared = np.array(
-            [m.max_shared_words_per_mp for m in metrics_list], dtype=float
-        )
-        name = algorithm
-        if not name:
-            for m in metrics_list:
-                if m.name:
-                    name = m.name
-                    break
-        return cls(
-            algorithm=name,
-            sizes=tuple(int(n) for n in sizes),
-            round_counts=round_counts,
-            mask=mask,
-            time=time,
-            io_blocks=io_blocks,
-            inward_words=inward_words,
-            outward_words=outward_words,
-            inward_transactions=inward_transactions,
-            outward_transactions=outward_transactions,
-            shared_words_per_mp=shared_words,
-            thread_blocks=thread_blocks,
-            max_global_words=max_global,
-            max_shared_words=max_shared,
-            metrics=tuple(metrics_list),
+        grid = MetricsGrid.from_metrics(sizes, metrics_list, name=algorithm)
+        return cls.from_grid(
+            grid, algorithm=algorithm, metrics=tuple(metrics_list)
         )
 
     @classmethod
@@ -182,15 +185,55 @@ class MetricsBatch:
         cls,
         algorithm: str,
         sizes: Sequence[int],
-        metrics_factory: BatchMetricsFactory,
+        metrics_factory: Optional[BatchMetricsFactory] = None,
+        grid_factory: Optional[GridMetricsFactory] = None,
     ) -> "MetricsBatch":
-        """Build the batch by invoking ``metrics_factory`` once per size."""
+        """Build the batch from a metrics factory.
+
+        ``grid_factory`` is the array-native path: it receives the whole size
+        list at once and returns a :class:`~repro.core.metrics.MetricsGrid`,
+        which packs without constructing any intermediate per-size
+        :class:`~repro.core.metrics.RoundMetrics` objects.  ``metrics_factory``
+        is the scalar path, invoked once per size.  Exactly one must be given.
+        """
         if not sizes:
             raise ValueError("a metrics batch needs at least one input size")
         sizes = [int(n) for n in sizes]
+        if grid_factory is not None:
+            if metrics_factory is not None:
+                raise ValueError(
+                    "pass either metrics_factory or grid_factory, not both"
+                )
+            grid = grid_factory(sizes)
+            if tuple(grid.sizes) != tuple(sizes):
+                raise ValueError(
+                    "grid_factory returned a grid over sizes "
+                    f"{grid.sizes} but the batch asked for {tuple(sizes)}"
+                )
+            return cls.from_grid(grid, algorithm=algorithm)
+        if metrics_factory is None:
+            raise ValueError("compile needs a metrics_factory or grid_factory")
         return cls.from_metrics(
             sizes, [metrics_factory(n) for n in sizes], algorithm=algorithm
         )
+
+    def materialized_metrics(self) -> Tuple[AlgorithmMetrics, ...]:
+        """Per-size scalar metrics, building them from the grid if needed.
+
+        Batches packed from scalar metrics return the retained originals;
+        batches compiled through an array-native factory materialise
+        equivalent :class:`~repro.core.metrics.AlgorithmMetrics` from the
+        grid columns on demand (backends without a batch evaluator are the
+        only consumer).  Returns ``()`` when neither source is available.
+        """
+        if self.metrics:
+            return self.metrics
+        if self.grid is not None:
+            return tuple(
+                self.grid.metrics_at(index)
+                for index in range(self.grid.num_sizes)
+            )
+        return ()
 
     # ------------------------------------------------------------------ #
     # Views
@@ -231,6 +274,7 @@ class MetricsBatch:
             max_global_words=self.max_global_words[cols],
             max_shared_words=self.max_shared_words[cols],
             metrics=tuple(self.metrics[i] for i in idx) if self.metrics else (),
+            grid=self.grid.select(idx) if self.grid is not None else None,
         )
 
     # ------------------------------------------------------------------ #

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.validation import ensure_positive_int
 
 
@@ -151,6 +153,19 @@ class ATGPUMachine:
         if threads <= 0:
             raise ValueError(f"threads must be > 0, got {threads!r}")
         return math.ceil(threads / self.b)
+
+    def thread_blocks_grid(self, threads) -> np.ndarray:
+        """Vectorized twin of :meth:`thread_blocks_for` over a size vector.
+
+        Mirrors the scalar's ``ceil(threads / b)`` float division exactly
+        (same IEEE operation per element), so batch metrics factories built
+        on it stay bit-for-bit equal to the scalar factories.
+        """
+        t = np.asarray(threads)
+        if np.any(t <= 0):
+            at = t[t <= 0]
+            raise ValueError(f"threads must be > 0, got {int(at.flat[0])!r}")
+        return np.ceil(t / self.b).astype(np.int64)
 
     def describe(self) -> str:
         """One-line human readable description of the machine instance."""

@@ -29,7 +29,7 @@ from repro.core.backends import (
     backend_label,
     evaluate_backends_batch,
 )
-from repro.core.batch import MetricsBatch, batch_breakdown
+from repro.core.batch import GridMetricsFactory, MetricsBatch, batch_breakdown
 from repro.core.cost import CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
@@ -317,6 +317,7 @@ def predict_sweep(
     occupancy: OccupancyModel,
     backends: Optional[Sequence[str]] = None,
     path: str = "auto",
+    grid_factory: Optional[GridMetricsFactory] = None,
 ) -> SweepPrediction:
     """Evaluate the requested cost-model backends over a sweep of sizes.
 
@@ -332,6 +333,12 @@ def predict_sweep(
     * ``"scalar"`` — force the original per-size path, which additionally
       attaches the per-size :class:`~repro.core.analysis.AnalysisReport`
       objects (useful for per-round introspection).
+
+    ``grid_factory`` optionally supplies the array-native metrics factory
+    (whole size list in, one :class:`~repro.core.metrics.MetricsGrid` out);
+    the batch path then compiles without constructing any per-size
+    :class:`~repro.core.metrics.RoundMetrics` objects.  The scalar path
+    always uses ``metrics_factory``.
     """
     if not sizes:
         raise ValueError("sizes must not be empty")
@@ -341,7 +348,12 @@ def predict_sweep(
         )
     names = tuple(backends) if backends is not None else DEFAULT_BACKENDS
     if path == "batch" or (path == "auto" and all_backends_support_batch(names)):
-        batch = MetricsBatch.compile(algorithm, sizes, metrics_factory)
+        if grid_factory is not None:
+            batch = MetricsBatch.compile(
+                algorithm, sizes, grid_factory=grid_factory
+            )
+        else:
+            batch = MetricsBatch.compile(algorithm, sizes, metrics_factory)
         return predict_sweep_batch(
             algorithm, batch, machine, parameters, occupancy, backends=names
         )

@@ -39,9 +39,60 @@ from repro.algorithms.base import GPUAlgorithm
 from repro.algorithms.registry import create
 from repro.core.backends import all_backends_support_batch
 from repro.core.batch import MetricsBatch
-from repro.core.prediction import predict_sweep_batch
+from repro.core.prediction import SweepPrediction, predict_sweep_batch
 from repro.experiments.results import Result, ResultSet
 from repro.experiments.spec import ExperimentSpec, paper_specs
+
+
+class BatchCache:
+    """Memoizes compiled metrics batches and per-backend sweep predictions.
+
+    Both maps key on ``(algorithm, preset, sizes)`` — predictions
+    additionally on the requested backends — which is exactly the data a
+    batched prediction depends on: cost-model evaluation is a pure function
+    of those, so repeated :meth:`Session.run_many` calls over the same
+    sweeps (different seeds, different device configurations) skip both the
+    metrics compilation and the per-backend :class:`BatchBreakdown`
+    evaluation.  ``hits`` / ``misses`` count lookups across both maps.
+    """
+
+    def __init__(self) -> None:
+        self._batches: Dict[tuple, MetricsBatch] = {}
+        self._predictions: Dict[tuple, SweepPrediction] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size(self) -> int:
+        """Number of cached batches plus cached predictions."""
+        return len(self._batches) + len(self._predictions)
+
+    def clear(self) -> None:
+        """Drop every cached batch and prediction (counters are kept)."""
+        self._batches.clear()
+        self._predictions.clear()
+
+    def _get(self, store: Dict[tuple, object], key: tuple, build):
+        value = store.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = build()
+        store[key] = value
+        return value
+
+    def batch(self, key: tuple, build) -> MetricsBatch:
+        """The compiled batch under ``key``, building it on first use."""
+        return self._get(self._batches, key, build)
+
+    def prediction(self, key: tuple, build) -> SweepPrediction:
+        """The evaluated prediction under ``key``, building it on first use.
+
+        Cached predictions are shared between results; callers must treat
+        them as read-only.
+        """
+        return self._get(self._predictions, key, build)
 
 
 def execute_spec(
@@ -72,16 +123,23 @@ def execute_spec(
     return Result.from_sweeps(spec, prediction, observation)
 
 
-def execute_specs(specs: Sequence[ExperimentSpec]) -> List[Result]:
+def execute_specs(
+    specs: Sequence[ExperimentSpec],
+    batch_cache: Optional[BatchCache] = None,
+) -> List[Result]:
     """Execute a batch of specs, sharing compiled metrics within groups.
 
     Specs naming the same ``(algorithm, preset)`` pair describe cost-model
     evaluations over the very same metrics (only sizes, seeds, backends and
     device configurations may differ), so one :class:`MetricsBatch` compiled
     over the union of the group's sweep sizes serves every spec's prediction
-    — each spec just selects its columns.  Specs whose backends lack batch
-    support keep the per-spec scalar path (reports included).  Observations
-    are simulated per spec as before.  Order is preserved.
+    — each spec just selects its columns.  Compilation goes through the
+    algorithm's array-native
+    :meth:`~repro.algorithms.base.GPUAlgorithm.metrics_batch` factory, and a
+    :class:`BatchCache` (when supplied) memoizes both the compiled batches
+    and the evaluated predictions across calls.  Specs whose backends lack
+    batch support keep the per-spec scalar path (reports included).
+    Observations are simulated per spec as before.  Order is preserved.
     """
     results: List[Optional[Result]] = [None] * len(specs)
     groups: Dict[Tuple[str, str], List[int]] = {}
@@ -102,21 +160,41 @@ def execute_specs(specs: Sequence[ExperimentSpec]) -> List[Result]:
         column: Dict[int, int] = {}
         if batchable:
             union = sorted({n for i in batchable for n in sizes_for[i]})
-            batch = MetricsBatch.compile(
-                algorithm.name, union,
-                lambda n: algorithm.metrics(n, preset.machine),
-            )
+
+            def compile_union() -> MetricsBatch:
+                return algorithm.compile_batch(union, preset=preset)
+
+            if batch_cache is not None:
+                batch = batch_cache.batch(
+                    (algorithm.name, preset_name, tuple(union)), compile_union
+                )
+            else:
+                batch = compile_union()
             column = {n: j for j, n in enumerate(union)}
         for index in indices:
             spec = specs[index]
             sizes = sizes_for[index]
             if batch is not None and index in batchable:
-                sub = batch.select([column[n] for n in sizes])
-                prediction = predict_sweep_batch(
-                    algorithm.name, sub, preset.machine,
-                    preset.parameters, preset.occupancy,
-                    backends=spec.backends,
-                )
+                group_batch = batch
+
+                def predict() -> "SweepPrediction":
+                    sub = group_batch.select([column[n] for n in sizes])
+                    return predict_sweep_batch(
+                        algorithm.name, sub, preset.machine,
+                        preset.parameters, preset.occupancy,
+                        backends=spec.backends,
+                    )
+
+                if batch_cache is not None:
+                    prediction = batch_cache.prediction(
+                        (
+                            algorithm.name, preset_name, tuple(sizes),
+                            spec.backends,
+                        ),
+                        predict,
+                    )
+                else:
+                    prediction = predict()
             else:
                 prediction = algorithm.predict_sweep(
                     sizes, preset=preset, backends=spec.backends
@@ -143,13 +221,22 @@ class SerialEngine:
 
     Batches route through :func:`execute_specs`, so specs sharing an
     ``(algorithm, preset)`` pair also share one compiled
-    :class:`~repro.core.batch.MetricsBatch` for their predictions.
+    :class:`~repro.core.batch.MetricsBatch` for their predictions.  A
+    :class:`Session` additionally passes its :class:`BatchCache` through
+    :meth:`map_with_cache`, carrying those compiled batches and evaluated
+    predictions across calls.
     """
 
     name = "serial"
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
         return execute_specs(specs)
+
+    def map_with_cache(
+        self, specs: Sequence[ExperimentSpec], batch_cache: BatchCache
+    ) -> List[Result]:
+        """Like :meth:`map`, memoizing batches/predictions in ``batch_cache``."""
+        return execute_specs(specs, batch_cache=batch_cache)
 
 
 class ProcessPoolEngine:
@@ -173,6 +260,10 @@ class ProcessPoolEngine:
         custom entries at import time of a module the workers load, or use
         the serial engine for such specs.  A reused pool additionally
         snapshots the registries as of its first batch under ``fork``.
+
+        Worker processes cannot share the session's in-process
+        :class:`BatchCache`, so this engine offers no ``map_with_cache``;
+        only the spec-hash result cache applies across process batches.
     """
 
     name = "process"
@@ -267,6 +358,9 @@ class Session:
         self._memory: Dict[str, Result] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Memoized compiled metrics batches and per-backend predictions,
+        #: shared with engines that support ``map_with_cache``.
+        self.batch_cache = BatchCache()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -295,9 +389,24 @@ class Session:
         """Number of results held in the in-memory cache."""
         return len(self._memory)
 
+    @property
+    def batch_cache_hits(self) -> int:
+        """Lookups served from the compiled-batch/prediction memo."""
+        return self.batch_cache.hits
+
+    @property
+    def batch_cache_misses(self) -> int:
+        """Batch/prediction compilations the memo could not avoid."""
+        return self.batch_cache.misses
+
     def clear_cache(self, disk: bool = False) -> None:
-        """Drop the in-memory cache (and the on-disk store with ``disk=True``)."""
+        """Drop the in-memory caches (and the on-disk store with ``disk=True``).
+
+        Clears both the spec-hash result cache and the compiled-batch /
+        prediction memo.
+        """
         self._memory.clear()
+        self.batch_cache.clear()
         if disk and self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
                 path.unlink()
@@ -380,8 +489,8 @@ class Session:
         the number of actual executions.
 
         With ``use_cache=False`` caching is disabled entirely: every spec —
-        duplicates included — is executed, nothing is stored, and the
-        hit/miss counters are left untouched.
+        duplicates included — is executed, nothing is stored, neither the
+        batch memo nor the hit/miss counters are touched.
         """
         specs = list(specs)
         if not use_cache:
@@ -402,7 +511,11 @@ class Session:
                 pending.setdefault(key, []).append(index)
         if pending:
             to_run = [specs[indices[0]] for indices in pending.values()]
-            fresh = self.engine.map(to_run)
+            mapper = getattr(self.engine, "map_with_cache", None)
+            if callable(mapper):
+                fresh = mapper(to_run, self.batch_cache)
+            else:
+                fresh = self.engine.map(to_run)
             for key, result, indices in zip(
                 pending, fresh, pending.values()
             ):

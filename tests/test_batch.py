@@ -98,11 +98,39 @@ class TestMetricsBatchPacking:
             assert np.all(batch.time[depth:, col] == 0.0)
             assert np.all(batch.thread_blocks[depth:, col] == 1.0)
 
-    def test_retains_per_size_metrics(self):
+    def test_materializes_per_size_metrics_on_demand(self):
         algo = VectorAddition()
         batch = algo.compile_batch([100, 200], preset=GTX_650)
+        # Grid-compiled batches build no per-size metrics eagerly; the
+        # scalar-fallback view materialises them from the grid columns.
+        assert batch.metrics == ()
+        assert batch.grid is not None
+        materialized = batch.materialized_metrics()
+        assert len(materialized) == 2
+        assert all(isinstance(m, AlgorithmMetrics) for m in materialized)
+        for n, m in zip([100, 200], materialized):
+            scalar = algo.metrics(n, GTX_650.machine)
+            assert len(m) == len(scalar)
+            for got, want in zip(m, scalar):
+                assert got.time == want.time
+                assert got.io_blocks == want.io_blocks
+                assert got.inward_words == want.inward_words
+                assert got.outward_words == want.outward_words
+                assert got.inward_transactions == want.inward_transactions
+                assert got.outward_transactions == want.outward_transactions
+                assert got.global_words == want.global_words
+                assert got.shared_words_per_mp == want.shared_words_per_mp
+                assert got.thread_blocks == want.thread_blocks
+
+    def test_from_metrics_retains_per_size_metrics(self):
+        algo = VectorAddition()
+        machine = GTX_650.machine
+        sizes = [100, 200]
+        batch = MetricsBatch.from_metrics(
+            sizes, [algo.metrics(n, machine) for n in sizes]
+        )
         assert len(batch.metrics) == 2
-        assert all(isinstance(m, AlgorithmMetrics) for m in batch.metrics)
+        assert batch.materialized_metrics() == batch.metrics
 
     def test_select_columns(self):
         algo = Reduction()

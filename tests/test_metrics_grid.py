@@ -1,0 +1,372 @@
+"""Tests for the array-native metrics layer (``MetricsGrid`` et al.).
+
+The contract under test is *exact equality*: for every built-in algorithm
+the vectorized ``metrics_batch`` factory must describe precisely the same
+workload as calling the scalar ``metrics`` factory once per size — every
+per-round field, every packed batch grid, every capacity-validation error
+(same message, same first offending size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALL_ALGORITHMS,
+    GPUAlgorithm,
+    Histogram,
+    MatrixMultiplication,
+    PrefixSum,
+    Reduction,
+    SpMV,
+    Stencil1D,
+    VectorAddition,
+)
+from repro.core.batch import MetricsBatch
+from repro.core.metrics import (
+    AlgorithmMetrics,
+    CapacityError,
+    MetricsGrid,
+    RoundMetrics,
+    metrics_grid,
+    round_arrays,
+)
+from repro.core.presets import GTX_650, GTX_980
+
+ALGORITHMS = [
+    VectorAddition, Reduction, MatrixMultiplication, PrefixSum, Histogram,
+    SpMV, Stencil1D,
+]
+
+PRESETS = [GTX_650, GTX_980]
+
+#: Batch grids that must be identical between the two compilation paths.
+BATCH_FIELDS = (
+    "round_counts", "mask", "time", "io_blocks", "inward_words",
+    "outward_words", "inward_transactions", "outward_transactions",
+    "shared_words_per_mp", "thread_blocks", "max_global_words",
+    "max_shared_words",
+)
+
+#: Scalar per-round fields compared for exact equality.
+ROUND_FIELDS = (
+    "time", "io_blocks", "inward_words", "outward_words",
+    "inward_transactions", "outward_transactions", "global_words",
+    "shared_words_per_mp", "thread_blocks",
+)
+
+
+def scalar_batch(algorithm, sizes, preset) -> MetricsBatch:
+    """The batch compiled through the per-size scalar factory."""
+    return MetricsBatch.compile(
+        algorithm.name, sizes,
+        lambda n: algorithm.metrics(n, preset.machine),
+    )
+
+
+@pytest.mark.parametrize("preset", PRESETS, ids=lambda p: p.name)
+@pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+class TestVectorizedFactoryParity:
+    def test_grid_matches_scalar_metrics_exactly(self, algorithm_cls, preset):
+        """Every per-round field of the grid equals the scalar factory's."""
+        algo = algorithm_cls()
+        sizes = algo.default_sizes()
+        grid = algo.metrics_batch(sizes, preset.machine)
+        assert tuple(grid.sizes) == tuple(sizes)
+        for col, n in enumerate(sizes):
+            scalar = algo.metrics(n, preset.machine)
+            assert int(grid.round_counts[col]) == len(scalar)
+            materialized = grid.metrics_at(col)
+            for got, want in zip(materialized, scalar):
+                for name in ROUND_FIELDS:
+                    assert getattr(got, name) == getattr(want, name), (
+                        algo.name, n, name
+                    )
+
+    def test_packed_batches_identical(self, algorithm_cls, preset):
+        """Grid-compiled and scalar-compiled batches agree on every array."""
+        algo = algorithm_cls()
+        assert algo.supports_metrics_batch
+        sizes = algo.default_sizes()
+        via_grid = algo.compile_batch(sizes, preset=preset)
+        via_scalar = scalar_batch(algo, sizes, preset)
+        for name in BATCH_FIELDS:
+            assert np.array_equal(
+                getattr(via_grid, name), getattr(via_scalar, name)
+            ), (algo.name, name)
+
+    def test_predict_sweep_paths_bitwise_equal(self, algorithm_cls, preset):
+        """End to end: batch path (vectorized factory) vs scalar path."""
+        algo = algorithm_cls()
+        sizes = algo.default_sizes()
+        backends = ("atgpu", "swgpu", "perfect", "agpu", "atgpu-async",
+                    "atgpu-multi")
+        batch = algo.predict_sweep(sizes, preset=preset, backends=backends,
+                                   path="batch")
+        scalar = algo.predict_sweep(sizes, preset=preset, backends=backends,
+                                    path="scalar")
+        for name in backends:
+            assert np.array_equal(
+                batch.series_for(name), scalar.series_for(name)
+            ), (algo.name, name)
+        assert np.array_equal(
+            batch.predicted_transfer_proportions,
+            scalar.predicted_transfer_proportions,
+        )
+
+
+class TestCapacityValidationParity:
+    """Satellite: batch and scalar validation raise identical errors."""
+
+    @pytest.mark.parametrize("preset", PRESETS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_same_message_and_first_offending_size(self, algorithm_cls,
+                                                   preset):
+        algo = algorithm_cls()
+        machine = preset.machine
+        # A sweep whose tail exceeds G: two offending sizes, so the error
+        # must name the *first*.
+        ok = algo.default_sizes()[0]
+        too_big = machine.G
+        bigger = 2 * machine.G
+        if algo.name == "matrix_multiplication":
+            # Sides, not elements: 3n² words must exceed G.
+            too_big = int(np.ceil(np.sqrt(machine.G)))
+            bigger = 2 * too_big
+        sizes = [ok, too_big, bigger]
+        assert algo.metrics(ok, machine).runs_on(machine)
+        with pytest.raises(CapacityError) as scalar_exc:
+            algo.metrics(too_big, machine).validate_against(machine)
+
+        grid = algo.metrics_batch(sizes, machine)
+        with pytest.raises(CapacityError) as grid_exc:
+            grid.validate_against(machine)
+        via_grid = algo.compile_batch(sizes, preset=preset)
+        with pytest.raises(CapacityError) as batch_exc:
+            via_grid.validate_against(machine)
+        via_scalar = scalar_batch(algo, sizes, preset)
+        with pytest.raises(CapacityError) as scalar_batch_exc:
+            via_scalar.validate_against(machine)
+
+        # Grid, grid-compiled batch and scalar-compiled batch agree to the
+        # byte, and they name the first offending size.
+        assert str(grid_exc.value) == str(batch_exc.value)
+        assert str(batch_exc.value) == str(scalar_batch_exc.value)
+        assert f"at size {too_big} " in str(batch_exc.value)
+        assert f"at size {bigger} " not in str(batch_exc.value)
+        # The words count and limit match the scalar per-size error.
+        scalar_message = str(scalar_exc.value)
+        batch_message = str(batch_exc.value)
+        assert batch_message.replace(f" at size {too_big}", "") \
+            == scalar_message
+
+    def test_too_big_size_sweep_regression(self):
+        """A sweep containing one oversized point fails on every path."""
+        algo = VectorAddition()
+        machine = GTX_650.machine
+        sizes = [1_000, machine.G]
+        with pytest.raises(CapacityError):
+            algo.predict_sweep(sizes, preset=GTX_650, path="batch")
+        with pytest.raises(CapacityError):
+            algo.predict_sweep(sizes, preset=GTX_650, path="scalar")
+        with pytest.raises(CapacityError):
+            algo.metrics_batch(sizes, machine).validate_against(machine)
+        assert not algo.metrics_batch(sizes, machine).runs_on(machine)
+        assert algo.metrics_batch([1_000], machine).runs_on(machine)
+
+    def test_shared_memory_violation_first_size(self):
+        rounds = [round_arrays(
+            3,
+            time=1.0, io_blocks=1.0,
+            shared_words_per_mp=np.array([1.0, 1e9, 2e9]),
+            thread_blocks=1,
+        )]
+        grid = metrics_grid([10, 20, 30], rounds, name="demo")
+        with pytest.raises(CapacityError, match="shared memory") as exc:
+            grid.validate_against(GTX_650.machine)
+        assert "at size 20 " in str(exc.value)
+
+
+class TestMetricsGridStructure:
+    def test_round_arrays_broadcasts_scalars(self):
+        r = round_arrays(4, time=2.0, io_blocks=1, thread_blocks=3)
+        assert r.time.shape == (4,)
+        assert np.all(r.time == 2.0)
+        assert np.all(r.thread_blocks == 3)
+        assert np.all(r.present)
+        assert r.num_sizes == 4
+
+    def test_round_arrays_rejects_bad_shapes_and_values(self):
+        with pytest.raises(ValueError, match="column"):
+            round_arrays(3, time=[1.0, 2.0], io_blocks=0.0)
+        with pytest.raises(ValueError, match="time"):
+            round_arrays(2, time=-1.0, io_blocks=0.0)
+        with pytest.raises(ValueError, match="thread_blocks"):
+            round_arrays(2, time=1.0, io_blocks=0.0, thread_blocks=0)
+        with pytest.raises(ValueError, match="inward"):
+            round_arrays(2, time=1.0, io_blocks=0.0, inward_words=5.0)
+        # Absent entries are exempt from validation.
+        r = round_arrays(
+            2, time=[1.0, -1.0], io_blocks=0.0,
+            present=[True, False],
+        )
+        assert list(r.present) == [True, False]
+
+    def test_grid_requires_top_aligned_presence(self):
+        first = round_arrays(2, time=1.0, io_blocks=0.0,
+                             present=[True, False])
+        second = round_arrays(2, time=1.0, io_blocks=0.0,
+                              present=[False, True])
+        with pytest.raises(ValueError, match="top-aligned"):
+            metrics_grid([1, 2], [first, second])
+
+    def test_grid_requires_at_least_one_round_per_size(self):
+        empty_col = round_arrays(2, time=1.0, io_blocks=0.0,
+                                 present=[True, False])
+        with pytest.raises(ValueError, match="no rounds"):
+            metrics_grid([1, 2], [empty_col])
+        with pytest.raises(ValueError, match="at least one input size"):
+            metrics_grid([], [])
+        with pytest.raises(ValueError, match="at least one round"):
+            metrics_grid([1], [])
+
+    def test_grid_rejects_mismatched_round_width(self):
+        narrow = round_arrays(2, time=1.0, io_blocks=0.0)
+        with pytest.raises(ValueError, match="covers 2 sizes"):
+            metrics_grid([1, 2, 3], [narrow])
+
+    def test_aggregates_match_scalar(self):
+        algo = Reduction()
+        machine = GTX_650.machine
+        sizes = [1 << 12, 1 << 16, 1 << 20]
+        grid = algo.metrics_batch(sizes, machine)
+        for col, n in enumerate(sizes):
+            scalar = algo.metrics(n, machine)
+            assert grid.total_time[col] == scalar.total_time
+            assert grid.total_io_blocks[col] == scalar.total_io_blocks
+            assert grid.total_transfer_words[col] \
+                == scalar.total_transfer_words
+            assert grid.max_global_words[col] == scalar.max_global_words
+            assert grid.max_shared_words_per_mp[col] \
+                == scalar.max_shared_words_per_mp
+
+    def test_select_columns(self):
+        algo = Reduction()
+        machine = GTX_650.machine
+        sizes = [1 << 12, 1 << 16, 1 << 20]
+        grid = algo.metrics_batch(sizes, machine)
+        sub = grid.select([2, 0])
+        assert sub.sizes == (sizes[2], sizes[0])
+        # Rounds absent everywhere in the selection are dropped.
+        shallow = grid.select([0])
+        assert shallow.depth == int(grid.round_counts[0])
+        with pytest.raises(ValueError):
+            grid.select([])
+        direct = algo.metrics_batch([sizes[2], sizes[0]], machine)
+        for round_sub, round_direct in zip(sub, direct):
+            assert np.array_equal(round_sub.time, round_direct.time)
+            assert np.array_equal(round_sub.present, round_direct.present)
+
+    def test_batch_select_propagates_grid(self):
+        algo = Reduction()
+        batch = algo.compile_batch([1 << 12, 1 << 16, 1 << 20],
+                                   preset=GTX_650)
+        sub = batch.select([1])
+        assert sub.grid is not None
+        assert sub.grid.sizes == (1 << 16,)
+        assert len(sub.materialized_metrics()) == 1
+
+    def test_from_metrics_column_packing_roundtrip(self):
+        algo = Reduction()
+        machine = GTX_650.machine
+        sizes = [1 << 10, 1 << 18]
+        metrics_list = [algo.metrics(n, machine) for n in sizes]
+        grid = MetricsGrid.from_metrics(sizes, metrics_list)
+        assert grid.name == algo.name
+        for col in range(len(sizes)):
+            rebuilt = grid.metrics_at(col)
+            for got, want in zip(rebuilt, metrics_list[col]):
+                for name in ROUND_FIELDS:
+                    assert getattr(got, name) == getattr(want, name)
+        with pytest.raises(ValueError, match="2 sizes but 1"):
+            MetricsGrid.from_metrics(sizes, metrics_list[:1])
+
+    def test_metrics_at_rejects_absent_round(self):
+        r = round_arrays(2, time=1.0, io_blocks=0.0, present=[True, True])
+        ragged = round_arrays(2, time=1.0, io_blocks=0.0,
+                              present=[True, False])
+        grid = metrics_grid([1, 2], [r, ragged])
+        assert len(grid.metrics_at(0)) == 2
+        assert len(grid.metrics_at(1)) == 1
+        with pytest.raises(ValueError, match="absent"):
+            ragged.round_at(1)
+
+
+class TestDefaultScalarLoopFallback:
+    """Custom algorithms without ``metrics_batch`` still batch correctly."""
+
+    class _Custom(VectorAddition):
+        name = "vector_addition"
+        # Hide the vectorized factory: fall back to the base-class loop.
+        metrics_batch = GPUAlgorithm.metrics_batch
+
+    def test_default_packs_scalar_metrics(self):
+        custom = self._Custom()
+        assert not custom.supports_metrics_batch
+        sizes = [1_000, 250_000]
+        grid = custom.metrics_batch(sizes, GTX_650.machine)
+        assert isinstance(grid, MetricsGrid)
+        reference = VectorAddition().metrics_batch(sizes, GTX_650.machine)
+        for round_got, round_want in zip(grid, reference):
+            for name in ROUND_FIELDS:
+                assert np.array_equal(
+                    getattr(round_got, name).astype(float),
+                    getattr(round_want, name).astype(float),
+                )
+
+    def test_default_predict_sweep_still_batches(self):
+        custom = self._Custom()
+        sizes = [1_000, 250_000]
+        batch = custom.predict_sweep(sizes, preset=GTX_650, path="batch")
+        scalar = custom.predict_sweep(sizes, preset=GTX_650, path="scalar")
+        assert np.array_equal(batch.series_for("atgpu"),
+                              scalar.series_for("atgpu"))
+
+
+class TestCompileEntryPoints:
+    def test_compile_rejects_conflicting_factories(self):
+        algo = VectorAddition()
+        machine = GTX_650.machine
+        with pytest.raises(ValueError, match="not both"):
+            MetricsBatch.compile(
+                algo.name, [10],
+                metrics_factory=lambda n: algo.metrics(n, machine),
+                grid_factory=lambda ns: algo.metrics_batch(ns, machine),
+            )
+        with pytest.raises(ValueError, match="needs a metrics_factory"):
+            MetricsBatch.compile(algo.name, [10])
+
+    def test_compile_checks_grid_sizes(self):
+        algo = VectorAddition()
+        machine = GTX_650.machine
+        with pytest.raises(ValueError, match="sizes"):
+            MetricsBatch.compile(
+                algo.name, [10, 20],
+                grid_factory=lambda ns: algo.metrics_batch([10], machine),
+            )
+
+    def test_all_registered_algorithms_ship_vectorized_factories(self):
+        for name, factory in ALL_ALGORITHMS.items():
+            assert factory().supports_metrics_batch, name
+
+    def test_non_positive_sizes_rejected_like_scalar(self):
+        machine = GTX_650.machine
+        for name, factory in ALL_ALGORITHMS.items():
+            algo = factory()
+            with pytest.raises(ValueError, match="positive integer"):
+                algo.metrics(0, machine)
+            with pytest.raises(ValueError, match="positive integer"):
+                algo.metrics_batch([1_024, 0], machine)
+            with pytest.raises(ValueError, match="positive integer"):
+                algo.metrics_batch([-5], machine)

@@ -547,3 +547,80 @@ class TestSpecHashMemoization:
         spec.spec_hash()
         restored = ExperimentSpec.from_json(spec.to_json())
         assert restored.spec_hash() == spec.spec_hash()
+
+
+class TestBatchEvaluationCache:
+    """The per-backend batch memo (compiled grids + evaluated predictions)."""
+
+    def test_repeated_run_many_hits_batch_cache(self):
+        session = Session()
+        specs = [tiny_spec(seed=0), tiny_spec(seed=1)]
+        first = session.run_many(specs)
+        # One group: one batch compile, then one prediction per distinct
+        # (sizes, backends) — here both specs share it.
+        assert session.batch_cache_misses == 2
+        assert session.batch_cache_hits == 1
+        assert session.batch_cache.size == 2
+        # New seeds miss the spec-hash cache but share every compiled
+        # batch and prediction.
+        hits_before = session.batch_cache_hits
+        second = session.run_many([tiny_spec(seed=2), tiny_spec(seed=3)])
+        assert session.batch_cache_misses == 2
+        # One batch hit plus one prediction hit per spec.
+        assert session.batch_cache_hits == hits_before + 3
+        assert first[0].predicted["atgpu"] == second[0].predicted["atgpu"]
+
+    def test_spec_hash_cache_answers_before_batch_cache(self):
+        session = Session()
+        session.run_many([tiny_spec(seed=0)])
+        misses = session.batch_cache_misses
+        hits = session.batch_cache_hits
+        # An exact repeat is a spec-hash hit; the batch memo is not touched.
+        session.run_many([tiny_spec(seed=0)])
+        assert session.batch_cache_misses == misses
+        assert session.batch_cache_hits == hits
+        assert session.cache_hits == 1
+
+    def test_distinct_sizes_and_backends_are_distinct_entries(self):
+        session = Session()
+        session.run_many([
+            tiny_spec(seed=0),
+            tiny_spec(seed=0, sizes=(1_000, 16_000)),
+            tiny_spec(seed=0, backends=("atgpu", "perfect")),
+        ])
+        # One union batch for the group; three distinct predictions.
+        assert session.batch_cache_misses == 4
+        assert session.batch_cache.size == 4
+
+    def test_use_cache_false_bypasses_batch_cache(self):
+        session = Session()
+        session.run_many([tiny_spec(seed=0)], use_cache=False)
+        assert session.batch_cache_misses == 0
+        assert session.batch_cache_hits == 0
+        assert session.batch_cache.size == 0
+
+    def test_clear_cache_drops_batch_memo(self):
+        session = Session()
+        session.run_many([tiny_spec(seed=0)])
+        assert session.batch_cache.size > 0
+        session.clear_cache()
+        assert session.batch_cache.size == 0
+        # Counters survive; a re-run recompiles.
+        misses = session.batch_cache_misses
+        session.run_many([tiny_spec(seed=4)])
+        assert session.batch_cache_misses > misses
+
+    def test_unbatchable_backends_skip_the_memo(self):
+        plain = make_backend("test-session-scalar-only", "scalar-only",
+                             lambda metrics, m, p, o: 1.0)
+        register_backend(plain)
+        try:
+            session = Session()
+            spec = tiny_spec(
+                seed=0, backends=("atgpu", "test-session-scalar-only")
+            )
+            result = session.run_many([spec])[0]
+            assert session.batch_cache.size == 0
+            assert result.predicted["test-session-scalar-only"] == [1.0, 1.0]
+        finally:
+            unregister_backend("test-session-scalar-only")
