@@ -1,0 +1,45 @@
+"""Benchmarks for the serving layer: coalesced vs serialized bursts.
+
+Replays a small overlapping-window burst through the prediction server and
+prints requests/sec, latency percentiles and the coalescing ratio — the
+pytest-visible face of ``bench_serving.py`` (which emits the JSON report
+the CI perf lane gates on).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_serving import burst_specs, run_benchmark
+
+
+def test_coalesced_burst_beats_serialized(benchmark):
+    """Coalescing an overlapping burst beats answering it one at a time."""
+
+    def run():
+        return run_benchmark(
+            requests=16, points=64, window=32, workers=2, repeats=1
+        )
+
+    serving = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"serialized {serving['serialized_rps']:.1f} req/s, "
+        f"coalesced {serving['coalesced_rps']:.1f} req/s "
+        f"({serving['speedup']:.1f}x), coalescing ratio "
+        f"{serving['coalescing_ratio']:.1f}"
+    )
+    assert serving["parity"]
+    assert serving["speedup"] > 1.0
+    assert serving["coalescing_ratio"] > 1.0
+
+
+def test_burst_windows_overlap_but_differ():
+    """The workload generator emits distinct, heavily overlapping windows."""
+    specs = burst_specs(requests=8, points=64, window=32)
+    assert len(specs) == 8
+    assert len({tuple(spec.sizes) for spec in specs}) == 8
+    first = set(specs[0].sizes)
+    second = set(specs[1].sizes)
+    assert first & second
+    assert first != second

@@ -30,8 +30,10 @@ from repro.experiments import (
 def main(scale: str = "small", engine: str = "serial") -> None:
     print(f"Running the Section IV evaluation at '{scale}' scale "
           f"on the '{engine}' engine ...")
-    session = Session(engine=engine)
-    comparisons = session.run_many(paper_specs(scale=scale))
+    # The context manager shuts the engine's worker pool down cleanly
+    # (letting interpreter exit reap it can race the queue feeder thread).
+    with Session(engine=engine) as session:
+        comparisons = session.run_many(paper_specs(scale=scale))
 
     print()
     print("Table I — comparison of GPU abstract models")

@@ -19,6 +19,10 @@ The package is organised as:
 * :mod:`repro.experiments` -- the declarative experiment layer: specs,
   sessions, results, and the harness that regenerates every figure and
   table of the evaluation section.
+* :mod:`repro.serving` -- prediction-as-a-service: a request server that
+  coalesces concurrent sweep requests sharing ``(algorithm, preset)`` into
+  one union-of-sizes batch, with pluggable scheduling policies and
+  admission control.
 
 Quick start -- describe an experiment declaratively and run it through a
 session (results are cached by spec hash, batches can fan out over a
@@ -81,6 +85,13 @@ from repro.experiments import (
     summary_statistics,
     table1,
 )
+from repro.serving import (
+    DeadlineExpiredError,
+    PredictionServer,
+    SchedulingPolicy,
+    ServerOverloadedError,
+    ServerStats,
+)
 from repro.simulator import DeviceConfig, GPUDevice, StreamTimeline
 
 __version__ = "1.0.0"
@@ -119,6 +130,11 @@ __all__ = [
     "all_figures",
     "summary_statistics",
     "table1",
+    "DeadlineExpiredError",
+    "PredictionServer",
+    "SchedulingPolicy",
+    "ServerOverloadedError",
+    "ServerStats",
     "DeviceConfig",
     "GPUDevice",
     "StreamTimeline",

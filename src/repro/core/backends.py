@@ -49,6 +49,7 @@ back to their scalar ``cost`` per size automatically.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -208,26 +209,34 @@ def all_backends_support_batch(names: Sequence[str]) -> bool:
 # Registry
 # --------------------------------------------------------------------- #
 _REGISTRY: Dict[str, CostModel] = {}
+#: Serialises registry mutation: serving-layer worker threads resolve
+#: backends while benchmark harnesses register/unregister sweep variants,
+#: and a torn check-then-set would corrupt the shared table.
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_backend(backend: CostModel, overwrite: bool = False) -> CostModel:
     """Register a backend under its :attr:`~CostModel.name`.
 
     Registering a second backend under an existing name raises
-    :class:`ValueError` unless ``overwrite=True``.
+    :class:`ValueError` unless ``overwrite=True``.  Registration is
+    thread-safe; concurrent registrations of the same name resolve to
+    exactly one winner (the others raise).
     """
-    if backend.name in _REGISTRY and not overwrite:
-        raise ValueError(
-            f"a cost-model backend named {backend.name!r} is already "
-            "registered; pass overwrite=True to replace it"
-        )
-    _REGISTRY[backend.name] = backend
+    with _REGISTRY_LOCK:
+        if backend.name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"a cost-model backend named {backend.name!r} is already "
+                "registered; pass overwrite=True to replace it"
+            )
+        _REGISTRY[backend.name] = backend
     return backend
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend from the registry (no-op if absent)."""
-    _REGISTRY.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def get_backend(name: str) -> CostModel:
@@ -246,7 +255,8 @@ def get_backend(name: str) -> CostModel:
 
 def backend_names() -> Tuple[str, ...]:
     """Names of every registered backend, sorted."""
-    return tuple(sorted(_REGISTRY))
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
 
 
 def backend_label(name: str) -> str:

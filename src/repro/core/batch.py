@@ -40,7 +40,7 @@ contributes exactly ``0.0`` to every sum.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -247,6 +247,24 @@ class MetricsBatch:
     def depth(self) -> int:
         """Largest per-size round count (rows, including padding)."""
         return int(self.time.shape[0])
+
+    def columns_for(self, sizes: Sequence[int]) -> List[int]:
+        """Column indices of the given size values, in request order.
+
+        The coalescing machinery compiles one batch over the union of
+        several requested sweeps and scatters per-request views back out;
+        this maps a request's sizes to the union's columns (duplicate
+        columns in :attr:`sizes` resolve to the first occurrence).  Raises
+        :class:`KeyError` naming the first size the batch does not cover.
+        """
+        column = {n: j for j, n in reversed(list(enumerate(self.sizes)))}
+        try:
+            return [column[int(n)] for n in sizes]
+        except KeyError as exc:
+            raise KeyError(
+                f"batch over sizes {self.sizes} has no column for size "
+                f"{exc.args[0]}"
+            ) from exc
 
     def select(self, indices: Sequence[int]) -> "MetricsBatch":
         """A sub-batch restricted to the given size columns, in order.

@@ -187,6 +187,39 @@ class SweepPrediction:
             for name in names
         }
 
+    def select(self, indices: Sequence[int]) -> "SweepPrediction":
+        """A sub-prediction restricted to the given size columns, in order.
+
+        Every cost of a sweep point depends only on its own column, so a
+        prediction evaluated once over the union of several requested sweeps
+        serves each individual sweep by slicing — bit-for-bit equal to
+        evaluating that sweep alone.  This is the scatter half of the
+        request-coalescing machinery (see :mod:`repro.serving`); the gather
+        half is :meth:`repro.core.batch.MetricsBatch.select`.
+        """
+        idx = list(indices)
+        if not idx:
+            raise ValueError("a sweep needs at least one input size")
+        cols = np.asarray(idx, dtype=int)
+
+        def sliced(values: Optional[Sequence[float]]) -> Optional[np.ndarray]:
+            if values is None:
+                return None
+            return np.asarray(values, dtype=float)[cols]
+
+        return SweepPrediction(
+            algorithm=self.algorithm,
+            sizes=[self.sizes[i] for i in idx],
+            reports=[self.reports[i] for i in idx] if self.reports else [],
+            series={
+                name: np.asarray(values, dtype=float)[cols]
+                for name, values in self.series.items()
+            },
+            proportions=sliced(self.proportions),
+            transfers=sliced(self.transfers),
+            kernels=sliced(self.kernels),
+        )
+
 
 @dataclass
 class SweepObservation:

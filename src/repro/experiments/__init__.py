@@ -31,11 +31,16 @@ from repro.experiments.results import (
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.session import (
     ENGINES,
+    BatchCache,
+    EngineError,
     ExecutionEngine,
     ProcessPoolEngine,
     SerialEngine,
     Session,
+    execute_group,
     execute_spec,
+    execute_specs,
+    predict_group,
     resolve_engine,
 )
 from repro.experiments.spec import ExperimentSpec, paper_specs
@@ -74,11 +79,16 @@ __all__ = [
     "as_comparisons",
     "ExperimentRunner",
     "ENGINES",
+    "BatchCache",
+    "EngineError",
     "ExecutionEngine",
     "ProcessPoolEngine",
     "SerialEngine",
     "Session",
+    "execute_group",
     "execute_spec",
+    "execute_specs",
+    "predict_group",
     "resolve_engine",
     "ExperimentSpec",
     "paper_specs",

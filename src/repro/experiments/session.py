@@ -30,6 +30,7 @@ Quick use::
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -44,6 +45,20 @@ from repro.experiments.results import Result, ResultSet
 from repro.experiments.spec import ExperimentSpec, paper_specs
 
 
+class EngineError(RuntimeError):
+    """A spec batch failed inside an execution engine.
+
+    Raised where the engine itself (not the spec's model evaluation) is the
+    problem — e.g. the process pool's workers died twice in a row.  The
+    offending spec, when identifiable, is attached as :attr:`spec` and named
+    in the message.
+    """
+
+    def __init__(self, message: str, spec: Optional[ExperimentSpec] = None):
+        super().__init__(message)
+        self.spec = spec
+
+
 class BatchCache:
     """Memoizes compiled metrics batches and per-backend sweep predictions.
 
@@ -54,6 +69,12 @@ class BatchCache:
     sweeps (different seeds, different device configurations) skip both the
     metrics compilation and the per-backend :class:`BatchBreakdown`
     evaluation.  ``hits`` / ``misses`` count lookups across both maps.
+
+    The cache is thread-safe: serving-layer workers share one instance
+    across threads.  A lookup racing a build may compile the same entry
+    twice (both threads count a miss; evaluation is pure, so the values are
+    identical); the first store wins and every caller receives that one
+    shared object.
     """
 
     def __init__(self) -> None:
@@ -61,26 +82,30 @@ class BatchCache:
         self._predictions: Dict[tuple, SweepPrediction] = {}
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     @property
     def size(self) -> int:
         """Number of cached batches plus cached predictions."""
-        return len(self._batches) + len(self._predictions)
+        with self._lock:
+            return len(self._batches) + len(self._predictions)
 
     def clear(self) -> None:
         """Drop every cached batch and prediction (counters are kept)."""
-        self._batches.clear()
-        self._predictions.clear()
+        with self._lock:
+            self._batches.clear()
+            self._predictions.clear()
 
     def _get(self, store: Dict[tuple, object], key: tuple, build):
-        value = store.get(key)
-        if value is not None:
-            self.hits += 1
-            return value
-        self.misses += 1
+        with self._lock:
+            value = store.get(key)
+            if value is not None:
+                self.hits += 1
+                return value
+            self.misses += 1
         value = build()
-        store[key] = value
-        return value
+        with self._lock:
+            return store.setdefault(key, value)
 
     def batch(self, key: tuple, build) -> MetricsBatch:
         """The compiled batch under ``key``, building it on first use."""
@@ -93,6 +118,17 @@ class BatchCache:
         them as read-only.
         """
         return self._get(self._predictions, key, build)
+
+    def seed_prediction(self, key: tuple, prediction: SweepPrediction) -> None:
+        """Store an externally computed prediction without counting a lookup.
+
+        This is how process-pool results flow back into the parent-side
+        memo: the pool worker already paid for the evaluation, so the entry
+        is planted for later in-process lookups to hit.  An existing entry
+        is kept (evaluation is pure; the values are interchangeable).
+        """
+        with self._lock:
+            self._predictions.setdefault(key, prediction)
 
 
 def execute_spec(
@@ -123,86 +159,165 @@ def execute_spec(
     return Result.from_sweeps(spec, prediction, observation)
 
 
+def predict_group(
+    specs: Sequence[ExperimentSpec],
+    batch_cache: Optional[BatchCache] = None,
+    algorithm: Optional[GPUAlgorithm] = None,
+) -> List[SweepPrediction]:
+    """Coalesced predictions for specs sharing one ``(algorithm, preset)``.
+
+    This is the coalescing core shared by :func:`execute_specs` and the
+    serving layer (:mod:`repro.serving`).  All specs must name the same
+    ``(algorithm, preset)`` pair — they then describe cost-model evaluations
+    over the very same metrics, so the whole group is served by **one**
+    :class:`MetricsBatch` compiled over the union of its sweep sizes and
+    **one** backend evaluation per distinct backends tuple; each spec's
+    prediction is scattered back out by selecting its size columns
+    (:meth:`~repro.core.prediction.SweepPrediction.select`), bit-for-bit
+    equal to evaluating that spec alone.  Specs whose backends lack batch
+    support keep the per-spec scalar path (reports included).
+
+    A :class:`BatchCache` (when supplied) memoizes the compiled batch and
+    the union-level predictions across calls; the union prediction is looked
+    up first, so a fully warmed cache serves the group without compiling
+    anything.  Order is preserved.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    first = specs[0]
+    for spec in specs[1:]:
+        if (spec.algorithm, spec.preset) != (first.algorithm, first.preset):
+            raise ValueError(
+                "predict_group coalesces one (algorithm, preset) group; got "
+                f"({first.algorithm!r}, {first.preset!r}) and "
+                f"({spec.algorithm!r}, {spec.preset!r})"
+            )
+    if algorithm is None:
+        algorithm = create(first.algorithm)
+    preset = first.resolved_preset()
+    sizes_for = [spec.resolved_sizes(algorithm) for spec in specs]
+    batchable = [
+        all_backends_support_batch(spec.backends) for spec in specs
+    ]
+    union = sorted({
+        n for index, ok in enumerate(batchable) if ok
+        for n in sizes_for[index]
+    })
+    column = {n: j for j, n in enumerate(union)}
+    batch: Optional[MetricsBatch] = None
+
+    def union_batch() -> MetricsBatch:
+        # Compiled lazily: when every union prediction is already cached
+        # (or seeded from pool results), the batch is never needed.
+        nonlocal batch
+        if batch is None:
+            def compile_union() -> MetricsBatch:
+                return algorithm.compile_batch(union, preset=preset)
+
+            if batch_cache is not None:
+                batch = batch_cache.batch(
+                    (algorithm.name, first.preset, tuple(union)),
+                    compile_union,
+                )
+            else:
+                batch = compile_union()
+        return batch
+
+    shared: Dict[Tuple[str, ...], SweepPrediction] = {}
+    predictions: List[Optional[SweepPrediction]] = [None] * len(specs)
+    for index, spec in enumerate(specs):
+        sizes = sizes_for[index]
+        if not batchable[index]:
+            predictions[index] = algorithm.predict_sweep(
+                sizes, preset=preset, backends=spec.backends
+            )
+            continue
+        union_prediction = shared.get(spec.backends)
+        if union_prediction is None:
+            def evaluate() -> SweepPrediction:
+                return predict_sweep_batch(
+                    algorithm.name, union_batch(), preset.machine,
+                    preset.parameters, preset.occupancy,
+                    backends=spec.backends,
+                )
+
+            if batch_cache is not None:
+                union_prediction = batch_cache.prediction(
+                    (
+                        algorithm.name, first.preset, tuple(union),
+                        spec.backends,
+                    ),
+                    evaluate,
+                )
+            else:
+                union_prediction = evaluate()
+            shared[spec.backends] = union_prediction
+        if sizes == union:
+            predictions[index] = union_prediction
+        else:
+            predictions[index] = union_prediction.select(
+                [column[n] for n in sizes]
+            )
+    return [p for p in predictions if p is not None]
+
+
+def execute_group(
+    specs: Sequence[ExperimentSpec],
+    batch_cache: Optional[BatchCache] = None,
+    algorithm: Optional[GPUAlgorithm] = None,
+) -> List[Result]:
+    """Execute specs sharing one ``(algorithm, preset)`` pair, coalesced.
+
+    Predictions come from :func:`predict_group` (one union compile, one
+    evaluation per distinct backends tuple); observations are simulated per
+    spec as always.  Order is preserved.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if algorithm is None:
+        algorithm = create(specs[0].algorithm)
+    predictions = predict_group(
+        specs, batch_cache=batch_cache, algorithm=algorithm
+    )
+    results: List[Result] = []
+    for spec, prediction in zip(specs, predictions):
+        observation = algorithm.observe_sweep(
+            spec.resolved_sizes(algorithm),
+            config=spec.resolved_device_config(),
+            seed=spec.seed,
+        )
+        results.append(Result.from_sweeps(spec, prediction, observation))
+    return results
+
+
 def execute_specs(
     specs: Sequence[ExperimentSpec],
     batch_cache: Optional[BatchCache] = None,
 ) -> List[Result]:
     """Execute a batch of specs, sharing compiled metrics within groups.
 
-    Specs naming the same ``(algorithm, preset)`` pair describe cost-model
-    evaluations over the very same metrics (only sizes, seeds, backends and
-    device configurations may differ), so one :class:`MetricsBatch` compiled
-    over the union of the group's sweep sizes serves every spec's prediction
-    — each spec just selects its columns.  Compilation goes through the
-    algorithm's array-native
+    Specs naming the same ``(algorithm, preset)`` pair coalesce into one
+    :func:`execute_group` call: one :class:`MetricsBatch` compiled over the
+    union of the group's sweep sizes and one backend evaluation per distinct
+    backends tuple serve every spec's prediction.  Compilation goes through
+    the algorithm's array-native
     :meth:`~repro.algorithms.base.GPUAlgorithm.metrics_batch` factory, and a
     :class:`BatchCache` (when supplied) memoizes both the compiled batches
-    and the evaluated predictions across calls.  Specs whose backends lack
-    batch support keep the per-spec scalar path (reports included).
-    Observations are simulated per spec as before.  Order is preserved.
+    and the evaluated union predictions across calls.  Observations are
+    simulated per spec as before.  Order is preserved.
     """
     results: List[Optional[Result]] = [None] * len(specs)
     groups: Dict[Tuple[str, str], List[int]] = {}
     for index, spec in enumerate(specs):
         groups.setdefault((spec.algorithm, spec.preset), []).append(index)
-    for (_, preset_name), indices in groups.items():
-        first = specs[indices[0]]
-        algorithm = create(first.algorithm)
-        preset = first.resolved_preset()
-        sizes_for: Dict[int, List[int]] = {
-            index: specs[index].resolved_sizes(algorithm) for index in indices
-        }
-        batchable = {
-            index for index in indices
-            if all_backends_support_batch(specs[index].backends)
-        }
-        batch: Optional[MetricsBatch] = None
-        column: Dict[int, int] = {}
-        if batchable:
-            union = sorted({n for i in batchable for n in sizes_for[i]})
-
-            def compile_union() -> MetricsBatch:
-                return algorithm.compile_batch(union, preset=preset)
-
-            if batch_cache is not None:
-                batch = batch_cache.batch(
-                    (algorithm.name, preset_name, tuple(union)), compile_union
-                )
-            else:
-                batch = compile_union()
-            column = {n: j for j, n in enumerate(union)}
-        for index in indices:
-            spec = specs[index]
-            sizes = sizes_for[index]
-            if batch is not None and index in batchable:
-                group_batch = batch
-
-                def predict() -> "SweepPrediction":
-                    sub = group_batch.select([column[n] for n in sizes])
-                    return predict_sweep_batch(
-                        algorithm.name, sub, preset.machine,
-                        preset.parameters, preset.occupancy,
-                        backends=spec.backends,
-                    )
-
-                if batch_cache is not None:
-                    prediction = batch_cache.prediction(
-                        (
-                            algorithm.name, preset_name, tuple(sizes),
-                            spec.backends,
-                        ),
-                        predict,
-                    )
-                else:
-                    prediction = predict()
-            else:
-                prediction = algorithm.predict_sweep(
-                    sizes, preset=preset, backends=spec.backends
-                )
-            observation = algorithm.observe_sweep(
-                sizes, config=spec.resolved_device_config(), seed=spec.seed
-            )
-            results[index] = Result.from_sweeps(spec, prediction, observation)
+    for indices in groups.values():
+        group_results = execute_group(
+            [specs[index] for index in indices], batch_cache=batch_cache
+        )
+        for index, result in zip(indices, group_results):
+            results[index] = result
     return [result for result in results if result is not None]
 
 
@@ -250,6 +365,11 @@ class ProcessPoolEngine:
     use the owning :class:`Session` as a context manager) to shut the
     workers down.
 
+    A batch that dies with :class:`BrokenProcessPool` (a worker crashed or
+    was killed) is retried **once** on a fresh pool; if that retry breaks
+    too, the engine raises a typed :class:`EngineError` naming the offending
+    spec instead of surfacing the raw executor crash.
+
     .. note::
         Specs naming backends or presets registered at runtime (via
         :func:`repro.core.backends.register_backend` /
@@ -261,9 +381,11 @@ class ProcessPoolEngine:
         the serial engine for such specs.  A reused pool additionally
         snapshots the registries as of its first batch under ``fork``.
 
-        Worker processes cannot share the session's in-process
-        :class:`BatchCache`, so this engine offers no ``map_with_cache``;
-        only the spec-hash result cache applies across process batches.
+        Worker processes cannot *read* the session's in-process
+        :class:`BatchCache`, but their results flow back through it:
+        :meth:`map_with_cache` seeds the parent-side memo with each
+        returned prediction, so later in-process evaluations of the same
+        sweeps (serial batches, the serving layer) hit without recompiling.
     """
 
     name = "process"
@@ -273,6 +395,9 @@ class ProcessPoolEngine:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Guards pool creation/teardown when sessions are shared across
+        # serving-layer worker threads.
+        self._lock = threading.Lock()
 
     @property
     def pool(self) -> Optional[ProcessPoolExecutor]:
@@ -280,11 +405,12 @@ class ProcessPoolEngine:
         return self._pool
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers or os.cpu_count() or 1
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers or os.cpu_count() or 1
+                )
+            return self._pool
 
     def map(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
         if len(specs) <= 1:
@@ -292,17 +418,66 @@ class ProcessPoolEngine:
         try:
             return list(self._ensure_pool().map(execute_spec, specs))
         except BrokenProcessPool:
-            # A dead worker poisons the whole executor; drop it so the next
-            # batch starts a healthy pool instead of failing forever (the
-            # old per-batch pool recovered implicitly).
+            # A dead worker poisons the whole executor; drop it and retry
+            # the batch once on a healthy pool (the old per-batch pool
+            # recovered implicitly).
             self.close()
-            raise
+            return self._retry_once(specs)
+
+    def _retry_once(self, specs: Sequence[ExperimentSpec]) -> List[Result]:
+        """Re-run a broken batch on a fresh pool, spec by spec.
+
+        Per-spec futures make the second failure attributable: the first
+        future to die names the spec that was in flight when the worker
+        crashed, and the raised :class:`EngineError` carries it.
+        """
+        futures = [
+            self._ensure_pool().submit(execute_spec, spec) for spec in specs
+        ]
+        results: List[Result] = []
+        for spec, future in zip(specs, futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                self.close()
+                raise EngineError(
+                    "process pool broke twice in a row; the retry crashed "
+                    f"while executing algorithm {spec.algorithm!r} "
+                    f"(spec {spec.spec_hash()})",
+                    spec=spec,
+                ) from exc
+        return results
+
+    def map_with_cache(
+        self, specs: Sequence[ExperimentSpec], batch_cache: BatchCache
+    ) -> List[Result]:
+        """Like :meth:`map`, seeding ``batch_cache`` from the pool's results.
+
+        Workers cannot share the parent's memo, but each result carries the
+        prediction its worker evaluated; planting those under the same keys
+        :func:`predict_group` looks up closes the loop — a later in-process
+        pass over the same ``(algorithm, preset, sizes, backends)`` is
+        served from the memo without compiling or evaluating anything.
+        """
+        results = self.map(specs)
+        for spec, result in zip(specs, results):
+            if not all_backends_support_batch(spec.backends):
+                continue
+            batch_cache.seed_prediction(
+                (
+                    spec.algorithm, spec.preset, tuple(result.sizes),
+                    spec.backends,
+                ),
+                result.comparison().prediction,
+            )
+        return results
 
     def close(self) -> None:
         """Shut down the worker pool (a later batch re-creates it)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
 
     def __enter__(self) -> "ProcessPoolEngine":
         return self
@@ -344,6 +519,13 @@ class Session:
         Optional directory for the on-disk JSON result store (one
         ``<spec_hash>.json`` file per result).  Results found there survive
         across sessions and processes.
+
+    One session is safe to share across threads (the serving layer's
+    workers all execute through a single instance): the result cache, the
+    hit/miss counters and the batch memo are lock-guarded, and disk-store
+    writes are atomic (temp file + rename).  Two threads racing on the same
+    uncached spec may both execute it — execution is deterministic, so both
+    produce identical results and the store stays consistent.
     """
 
     def __init__(
@@ -358,6 +540,7 @@ class Session:
         self._memory: Dict[str, Result] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self._lock = threading.RLock()
         #: Memoized compiled metrics batches and per-backend predictions,
         #: shared with engines that support ``map_with_cache``.
         self.batch_cache = BatchCache()
@@ -387,7 +570,8 @@ class Session:
     @property
     def cache_size(self) -> int:
         """Number of results held in the in-memory cache."""
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     @property
     def batch_cache_hits(self) -> int:
@@ -405,7 +589,8 @@ class Session:
         Clears both the spec-hash result cache and the compiled-batch /
         prediction memo.
         """
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         self.batch_cache.clear()
         if disk and self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
@@ -425,7 +610,8 @@ class Session:
         callers hash each spec exactly once per call.
         """
         key = key if key is not None else spec.spec_hash()
-        result = self._memory.get(key)
+        with self._lock:
+            result = self._memory.get(key)
         if result is not None:
             return result
         path = self._disk_path(key)
@@ -437,7 +623,8 @@ class Session:
                 # crash: drop it and let the spec re-execute.
                 path.unlink(missing_ok=True)
                 return None
-            self._memory[key] = result
+            with self._lock:
+                self._memory[key] = result
             return result
         return None
 
@@ -445,10 +632,17 @@ class Session:
         self, spec: ExperimentSpec, result: Result, key: Optional[str] = None
     ) -> None:
         key = key if key is not None else spec.spec_hash()
-        self._memory[key] = result
+        with self._lock:
+            self._memory[key] = result
         path = self._disk_path(key)
         if path is not None:
-            path.write_text(result.to_json(), encoding="utf-8")
+            # Write-then-rename keeps concurrent writers of the same key
+            # from interleaving into a torn store entry.
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            tmp.write_text(result.to_json(), encoding="utf-8")
+            os.replace(tmp, path)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -470,9 +664,11 @@ class Session:
         key = spec.spec_hash()
         cached = self.lookup(spec, key=key)
         if cached is not None:
-            self.cache_hits += 1
+            with self._lock:
+                self.cache_hits += 1
             return cached
-        self.cache_misses += 1
+        with self._lock:
+            self.cache_misses += 1
         result = execute_spec(spec, algorithm=algorithm)
         self._store(spec, result, key=key)
         return result
@@ -501,13 +697,15 @@ class Session:
             key = spec.spec_hash()
             cached = self.lookup(spec, key=key)
             if cached is not None:
-                self.cache_hits += 1
+                with self._lock:
+                    self.cache_hits += 1
                 slots[index] = cached
             else:
-                if key in pending:
-                    self.cache_hits += 1
-                else:
-                    self.cache_misses += 1
+                with self._lock:
+                    if key in pending:
+                        self.cache_hits += 1
+                    else:
+                        self.cache_misses += 1
                 pending.setdefault(key, []).append(index)
         if pending:
             to_run = [specs[indices[0]] for indices in pending.values()]

@@ -1,0 +1,47 @@
+"""Prediction-as-a-service: coalescing request server over the session layer.
+
+See :mod:`repro.serving.server` for the architecture overview.
+"""
+
+from repro.serving.errors import (
+    DeadlineExpiredError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.serving.policies import (
+    POLICIES,
+    DeadlinePolicy,
+    FairSharePolicy,
+    FIFOPolicy,
+    SchedulingPolicy,
+    resolve_policy,
+)
+from repro.serving.queue import (
+    MODES,
+    CoalescedGroup,
+    PredictionRequest,
+    RequestQueue,
+)
+from repro.serving.server import PredictionServer
+from repro.serving.stats import ServerStats, StatsCollector
+
+__all__ = [
+    "CoalescedGroup",
+    "DeadlineExpiredError",
+    "DeadlinePolicy",
+    "FIFOPolicy",
+    "FairSharePolicy",
+    "MODES",
+    "POLICIES",
+    "PredictionRequest",
+    "PredictionServer",
+    "RequestQueue",
+    "SchedulingPolicy",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ServerStats",
+    "ServingError",
+    "StatsCollector",
+    "resolve_policy",
+]

@@ -1,0 +1,38 @@
+"""Typed errors of the serving layer."""
+
+from __future__ import annotations
+
+
+class ServingError(RuntimeError):
+    """Base class of every serving-layer error."""
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a server that has been closed."""
+
+
+class ServerOverloadedError(ServingError):
+    """Admission control rejected a request (backpressure).
+
+    Raised by :meth:`~repro.serving.server.PredictionServer.submit` when the
+    pending queue is at its depth bound or admitting the request would push
+    the admitted-but-uncompleted sweep-point total over the in-flight bound.
+    Callers are expected to back off and retry; the attached counters say
+    which bound was hit.
+    """
+
+    def __init__(
+        self, message: str, queue_depth: int = 0, inflight_sizes: int = 0
+    ):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.inflight_sizes = inflight_sizes
+
+
+class DeadlineExpiredError(ServingError):
+    """A request's deadline passed before it could be dispatched.
+
+    Only raised under a scheduling policy with expiry rejection (the
+    :class:`~repro.serving.policies.DeadlinePolicy`); other policies treat
+    deadlines as advisory ordering hints.
+    """

@@ -1,0 +1,149 @@
+"""Pluggable scheduling policies: which coalesced group dispatches next.
+
+A :class:`SchedulingPolicy` is a strategy object the server's workers
+consult every time they pull work: given the currently pending
+:class:`~repro.serving.queue.CoalescedGroup` views, ``select`` returns the
+one to dispatch.  The family mirrors the scheduler registry of the session
+layer's engines (and riescue's Default/Parallel/Simultaneous/LinuxMode
+schedulers behind one interface):
+
+==================  =====================================================
+``fifo``            oldest pending request first — strict arrival order
+``fair-share``      the group whose tenants have been served the least
+                    total sweep points so far; a flood from one tenant
+                    cannot starve another
+``deadline``        earliest-deadline-first, and requests whose deadline
+                    has already passed are rejected with
+                    :class:`~repro.serving.errors.DeadlineExpiredError`
+                    instead of executed
+==================  =====================================================
+
+Custom policies implement ``select`` (and optionally ``record_dispatch``
+for internal accounting) and are passed to the server as instances, or
+registered in :data:`POLICIES` and named.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections import defaultdict
+from typing import Dict, Sequence, Union
+
+from repro.serving.queue import CoalescedGroup
+
+
+class SchedulingPolicy(abc.ABC):
+    """Strategy interface: order the pending coalesced groups."""
+
+    #: Registry / stats name of the policy.
+    name: str = "policy"
+    #: Whether requests with a passed deadline are rejected at dispatch
+    #: time instead of executed (only the deadline policy does).
+    rejects_expired: bool = False
+
+    @abc.abstractmethod
+    def select(
+        self, groups: Sequence[CoalescedGroup], now: float
+    ) -> CoalescedGroup:
+        """The group to dispatch next (``groups`` is never empty)."""
+
+    def record_dispatch(self, group: CoalescedGroup, now: float) -> None:
+        """Hook invoked after a group is taken (for internal accounting)."""
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Dispatch the group containing the oldest pending request."""
+
+    name = "fifo"
+
+    def select(
+        self, groups: Sequence[CoalescedGroup], now: float
+    ) -> CoalescedGroup:
+        return min(groups, key=lambda g: g.oldest_submitted)
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Serve the most starved tenant first.
+
+    Each tenant accumulates the sweep points of its dispatched requests;
+    the policy picks the group containing the least-served tenant (ties
+    break by arrival order), so a tenant flooding the queue only defers its
+    *own* later requests — a light tenant's group overtakes the flood as
+    soon as the heavy tenant has been served more.
+    """
+
+    name = "fair-share"
+
+    def __init__(self) -> None:
+        self._served: Dict[str, float] = defaultdict(float)
+
+    def served(self, tenant: str) -> float:
+        """Total sweep points dispatched for a tenant so far."""
+        return self._served[tenant]
+
+    def select(
+        self, groups: Sequence[CoalescedGroup], now: float
+    ) -> CoalescedGroup:
+        return min(
+            groups,
+            key=lambda g: (
+                min(self._served[t] for t in g.tenants),
+                g.oldest_submitted,
+            ),
+        )
+
+    def record_dispatch(self, group: CoalescedGroup, now: float) -> None:
+        for request in group.requests:
+            self._served[request.tenant] += request.cost
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first with expiry rejection.
+
+    Groups order by their most urgent deadline (requests without one sort
+    last, then by arrival), and any request whose deadline has already
+    passed at dispatch time is rejected with
+    :class:`~repro.serving.errors.DeadlineExpiredError` rather than given a
+    worthless late answer.
+    """
+
+    name = "deadline"
+    rejects_expired = True
+
+    def select(
+        self, groups: Sequence[CoalescedGroup], now: float
+    ) -> CoalescedGroup:
+        def urgency(group: CoalescedGroup):
+            deadline = group.earliest_deadline
+            return (
+                deadline if deadline is not None else math.inf,
+                group.oldest_submitted,
+            )
+
+        return min(groups, key=urgency)
+
+
+#: Policy factories by name, for ``PredictionServer(policy="...")``.
+POLICIES = {
+    FIFOPolicy.name: FIFOPolicy,
+    FairSharePolicy.name: FairSharePolicy,
+    DeadlinePolicy.name: DeadlinePolicy,
+}
+
+
+def resolve_policy(
+    policy: Union[str, SchedulingPolicy]
+) -> SchedulingPolicy:
+    """Turn a policy name or instance into a policy instance."""
+    if isinstance(policy, str):
+        try:
+            factory = POLICIES[policy]
+        except KeyError as exc:
+            known = ", ".join(sorted(POLICIES))
+            raise KeyError(
+                f"unknown scheduling policy {policy!r}; known policies: "
+                f"{known}"
+            ) from exc
+        return factory()
+    return policy

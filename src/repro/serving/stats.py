@@ -1,0 +1,145 @@
+"""Server observability: counters, latency percentiles, coalescing ratio.
+
+The server's workers feed a :class:`StatsCollector` (lock-guarded counters
+plus a bounded window of end-to-end request latencies); callers read an
+immutable :class:`ServerStats` snapshot via
+:meth:`~repro.serving.server.PredictionServer.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A point-in-time snapshot of one server's behaviour.
+
+    ``coalescing_ratio`` is the mean number of requests served per
+    dispatched group — ``1.0`` means no coalescing happened, ``4.0`` means
+    the average dispatch answered four callers from one union compile.
+    Latency percentiles are end-to-end (submission to future resolution)
+    over the most recent window of completed requests.
+    """
+
+    policy: str
+    workers: int
+    submitted: int
+    completed: int
+    failed: int
+    expired: int
+    rejected: int
+    cancelled: int
+    dispatched_groups: int
+    coalesced_requests: int
+    queue_depth: int
+    inflight_sizes: int
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    #: Coalescing keys of the most recent dispatches, oldest first.
+    recent_dispatches: Tuple[Tuple[str, str, str], ...]
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean requests per dispatched group (``1.0`` = no coalescing)."""
+        if self.dispatched_groups == 0:
+            return 0.0
+        return self.coalesced_requests / self.dispatched_groups
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet resolved either way."""
+        resolved = (
+            self.completed + self.failed + self.expired + self.cancelled
+        )
+        return self.submitted - resolved
+
+
+class StatsCollector:
+    """Thread-safe accumulator behind :class:`ServerStats` snapshots."""
+
+    def __init__(
+        self, latency_window: int = 4096, dispatch_window: int = 256
+    ) -> None:
+        if latency_window < 1:
+            raise ValueError("latency_window must be at least 1")
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.expired = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.dispatched_groups = 0
+        self.coalesced_requests = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._dispatches: Deque[Tuple[str, str, str]] = deque(
+            maxlen=dispatch_window
+        )
+        self._lock = threading.Lock()
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_dispatch(self, key: Tuple[str, str, str], size: int) -> None:
+        with self._lock:
+            self.dispatched_groups += 1
+            self.coalesced_requests += size
+            self._dispatches.append(key)
+
+    def record_completed(self, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(latency_s)
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_cancelled(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def snapshot(
+        self, policy: str, workers: int, queue_depth: int, inflight_sizes: int
+    ) -> ServerStats:
+        """An immutable snapshot of the counters and latency percentiles."""
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=float)
+            if latencies.size:
+                p50, p99 = np.percentile(latencies, (50.0, 99.0))
+                mean = float(latencies.mean())
+            else:
+                p50 = p99 = mean = 0.0
+            return ServerStats(
+                policy=policy,
+                workers=workers,
+                submitted=self.submitted,
+                completed=self.completed,
+                failed=self.failed,
+                expired=self.expired,
+                rejected=self.rejected,
+                cancelled=self.cancelled,
+                dispatched_groups=self.dispatched_groups,
+                coalesced_requests=self.coalesced_requests,
+                queue_depth=queue_depth,
+                inflight_sizes=inflight_sizes,
+                latency_p50_s=float(p50),
+                latency_p99_s=float(p99),
+                latency_mean_s=mean,
+                recent_dispatches=tuple(self._dispatches),
+            )
