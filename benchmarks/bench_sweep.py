@@ -50,6 +50,8 @@ from repro.core.backends import (
     register_backend,
     unregister_backend,
 )
+from repro.core.sharding import TopologyCostModel, topology_cost_batch
+from repro.core.topology import DeviceSpec, LinkSpec, Topology
 from repro.workloads.sweeps import (
     SHARD_COUNT_SWEEP,
     STREAM_CHUNK_SWEEP,
@@ -179,6 +181,72 @@ def bench_entry(
     }
 
 
+#: The two-preset fleet of the heterogeneous-straggler section: one
+#: default (gtx650) device and one gtx980 on a shared, moderately
+#: contended host link.
+HETERO_FLEET = Topology(
+    devices=(DeviceSpec(), DeviceSpec(preset="gtx980")),
+    links=(LinkSpec(kind="host", socket=0, contention=0.3),),
+)
+
+
+def heterogeneous_fleet_section(repeats: int = 3) -> Dict:
+    """Straggler cost of the load-aware planner vs the even-split baseline.
+
+    Evaluates the compute-bound matmul sweep on :data:`HETERO_FLEET` under
+    both planners, asserting (a) bit-for-bit scalar/batch parity of the
+    topology evaluator and (b) that the load-aware split prices strictly
+    below the even split in total — the whole point of weighting shards by
+    per-device throughput.
+    """
+    algorithm = MatrixMultiplication()
+    sizes = list(sweep_for(algorithm.name).sizes)
+    preset = DEFAULT_PRESET
+    batch = algorithm.compile_batch(sizes)
+    planners: Dict[str, Dict] = {}
+    parity = True
+    for planner in ("load-aware", "even"):
+        model = TopologyCostModel(
+            preset.machine, preset.parameters, preset.occupancy,
+            HETERO_FLEET, planner=planner,
+        )
+        scalar = np.array([
+            model.gpu_cost(algorithm.metrics(n, preset.machine))
+            for n in sizes
+        ])
+        vector = topology_cost_batch(
+            batch, preset.machine, preset.parameters, preset.occupancy,
+            HETERO_FLEET, planner=planner,
+        )
+        parity = parity and bool(np.allclose(scalar, vector, rtol=0, atol=0))
+        batch_s = _time_factory(
+            lambda: topology_cost_batch(
+                batch, preset.machine, preset.parameters, preset.occupancy,
+                HETERO_FLEET, planner=planner,
+            ),
+            repeats,
+        )
+        planners[planner] = {
+            "costs": [float(c) for c in vector],
+            "total": float(vector.sum()),
+            "batch_s": batch_s,
+        }
+    load_aware = planners["load-aware"]["total"]
+    even = planners["even"]["total"]
+    return {
+        "name": "hetero_fleet/matrix_multiplication",
+        "algorithm": algorithm.name,
+        "sizes": sizes,
+        "devices": [d.preset or preset.name for d in HETERO_FLEET.devices],
+        "contention": HETERO_FLEET.host_link(0).contention,
+        "topology_hash": HETERO_FLEET.topology_hash(),
+        "planners": planners,
+        "straggler_reduction": 1.0 - load_aware / even,
+        "load_aware_beats_even": load_aware < even,
+        "parity": parity,
+    }
+
+
 def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
     """Run every benchmark entry and assemble the report dictionary.
 
@@ -221,6 +289,7 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
     speedups = [entry["speedup"] for entry in entries]
     factory_speedups = [entry["factory_speedup"] for entry in entries]
     dense = next(e for e in entries if e["name"].startswith("dense"))
+    hetero = heterogeneous_fleet_section(repeats)
     return {
         "benchmark": "vectorized-batch-sweep",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -228,8 +297,14 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
         "numpy": np.__version__,
         "repeats": repeats,
         "entries": entries,
+        "heterogeneous_fleet": hetero,
         "summary": {
-            "parity": all(entry["parity"] for entry in entries),
+            "parity": (
+                all(entry["parity"] for entry in entries)
+                and hetero["parity"]
+            ),
+            "hetero_straggler_reduction": hetero["straggler_reduction"],
+            "hetero_load_aware_beats_even": hetero["load_aware_beats_even"],
             "min_speedup": min(speedups),
             "max_speedup": max(speedups),
             "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
@@ -278,6 +353,14 @@ def main(argv: Sequence[str] = None) -> int:
             f"{entry['factory_batch_s'] * 1e3:5.2f} ms "
             f"({entry['factory_speedup']:5.1f}x)  {flag}"
         )
+    hetero = report["heterogeneous_fleet"]
+    print(
+        f"{hetero['name']:<{width}}  {len(hetero['sizes']):>4} pts  "
+        f"load-aware {hetero['planners']['load-aware']['total'] * 1e3:.2f} ms "
+        f"vs even {hetero['planners']['even']['total'] * 1e3:.2f} ms  "
+        f"straggler -{hetero['straggler_reduction'] * 100:.1f}%  "
+        f"{'ok' if hetero['parity'] else 'PARITY MISMATCH'}"
+    )
     summary = report["summary"]
     print(
         f"geomean speedup {summary['geomean_speedup']:.1f}x "
@@ -287,6 +370,13 @@ def main(argv: Sequence[str] = None) -> int:
     )
     if not summary["parity"]:
         print("ERROR: scalar and batch paths disagree", file=sys.stderr)
+        return 1
+    if not hetero["load_aware_beats_even"]:
+        print(
+            "ERROR: load-aware planning did not beat the even split on the "
+            "heterogeneous fleet",
+            file=sys.stderr,
+        )
         return 1
     if (
         args.min_dense_speedup is not None

@@ -30,6 +30,7 @@ from repro.core.prediction import (
     predict_sweep,
 )
 from repro.core.presets import DEFAULT_PRESET, GPUPreset
+from repro.core.topology import Topology
 from repro.pseudocode.program import Program
 from repro.simulator.config import DeviceConfig
 from repro.simulator.device import GPUDevice
@@ -55,6 +56,32 @@ def chunk_bounds(n: int, chunks: int) -> List[tuple]:
         bounds.append((lo, hi))
         lo = hi
     return bounds
+
+
+def sharded_pool_bounds(
+    device: GPUDevice,
+    n: int,
+    devices: int,
+    contention: float,
+    topology: Optional[Topology],
+) -> tuple:
+    """The ``(pool, bounds)`` pair every sharded run schedules against.
+
+    Without a topology: a homogeneous pool of ``devices`` over one link
+    with the given ``contention``, and the near-equal :func:`chunk_bounds`
+    split.  With one: a topology-driven pool (per-socket link stretch) and
+    the throughput-weighted :func:`~repro.core.topology.plan_bounds`
+    split, whose zero-width bounds mark devices the planner left idle.
+    """
+    if topology is None:
+        pool = DevicePool(
+            devices, config=device.config, contention=contention
+        )
+        return pool, chunk_bounds(n, devices)
+    from repro.core.topology import plan_bounds
+
+    pool = DevicePool(config=device.config, topology=topology)
+    return pool, plan_bounds(n, topology.throughputs())
 
 
 @dataclass
@@ -330,6 +357,7 @@ class GPUAlgorithm(abc.ABC):
         devices: int = 2,
         contention: float = 0.0,
         pinned: bool = False,
+        topology: Optional["Topology"] = None,
     ) -> ShardedRunResult:
         """Sharded execution across a multi-device pool.
 
@@ -339,7 +367,11 @@ class GPUAlgorithm(abc.ABC):
         link with the given ``contention``), and reports the straggler
         makespan alongside the serial single-device sum.  ``device``
         supplies the per-device configuration and the kernel/transfer
-        engines used for durations.  Not every algorithm decomposes this
+        engines used for durations.  ``topology`` replaces ``devices`` /
+        ``contention`` with a full :class:`~repro.core.topology.Topology`:
+        shards are sized by per-device throughput
+        (:func:`~repro.core.topology.plan_bounds`) and the pool applies
+        per-socket link stretch.  Not every algorithm decomposes this
         way; the base implementation raises.
         """
         raise NotImplementedError(
@@ -372,13 +404,14 @@ class GPUAlgorithm(abc.ABC):
         contention: float = 0.0,
         seed: int = 0,
         pinned: bool = False,
+        topology: Optional["Topology"] = None,
     ) -> ShardedRunResult:
         """Run the sharded mode at size ``n`` on a fresh device pool."""
         device = GPUDevice(config or DeviceConfig.gtx650())
         inputs = self.generate_input(n, seed=seed)
         return self.run_sharded(
             device, inputs, devices=devices, contention=contention,
-            pinned=pinned,
+            pinned=pinned, topology=topology,
         )
 
     def observe(

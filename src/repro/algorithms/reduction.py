@@ -23,7 +23,7 @@ charged per the model's "all paths are executed" rule.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +33,9 @@ from repro.algorithms.base import (
     ShardedRunResult,
     StreamedRunResult,
     chunk_bounds,
+    sharded_pool_bounds,
 )
+from repro.core.topology import Topology
 from repro.core.transfer import TransferDirection
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import (
@@ -415,6 +417,7 @@ class Reduction(GPUAlgorithm):
         devices: int = 2,
         contention: float = 0.0,
         pinned: bool = False,
+        topology: Optional[Topology] = None,
     ) -> ShardedRunResult:
         """Reduction sharded across a multi-device pool.
 
@@ -423,12 +426,14 @@ class Reduction(GPUAlgorithm):
         :meth:`run` does for the whole array), and returns its single-word
         partial sum; the host adds the ``P`` partials.  The dominant H2D
         copy shards ``P`` ways, so scaling follows the link model: near
-        linear on independent links, flat on a fully contended one.
+        linear on independent links, flat on a fully contended one.  With a
+        ``topology``, shard widths follow the per-device throughput weights
+        and each device's transfers stretch by its own socket's link
+        contention.
         """
         a = np.asarray(inputs["A"])
         n = a.size
         b = device.config.warp_width
-        bounds = chunk_bounds(n, devices)
         device.reset_timers()
         device.allocate("a", n, dtype=a.dtype).data[:] = a.reshape(-1)
         device.allocate(
@@ -438,12 +443,16 @@ class Reduction(GPUAlgorithm):
         # take the answer before any tracing mutates them.
         answer = np.array([device.array("a").data[:n].sum()], dtype=a.dtype)
 
-        pool = DevicePool(devices, config=device.config, contention=contention)
+        pool, bounds = sharded_pool_bounds(
+            device, n, devices, contention, topology
+        )
         # Equal-sized shards run identical kernel ladders; the timing is
         # deterministic in the level size, so memoise it across devices.
         timings: Dict[int, KernelTiming] = {}
         for index, (lo, hi) in enumerate(bounds):
             m = hi - lo
+            if m == 0:
+                continue
             pool.add_transfer(
                 index, m, TransferDirection.HOST_TO_DEVICE,
                 pinned=pinned, label=f"a[{lo}:{hi}]",
@@ -468,6 +477,6 @@ class Reduction(GPUAlgorithm):
             device.free(name)
         return ShardedRunResult(
             outputs={"Ans": answer},
-            device_count=devices,
+            device_count=pool.num_devices,
             pool=pool,
         )

@@ -19,7 +19,7 @@ the ``3`` operations with ``⌈k/(k'ℓ)⌉·3`` (Expression 2).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +29,9 @@ from repro.algorithms.base import (
     ShardedRunResult,
     StreamedRunResult,
     chunk_bounds,
+    sharded_pool_bounds,
 )
+from repro.core.topology import Topology
 from repro.core.transfer import TransferDirection
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import (
@@ -319,6 +321,7 @@ class VectorAddition(GPUAlgorithm):
         devices: int = 2,
         contention: float = 0.0,
         pinned: bool = False,
+        topology: Optional[Topology] = None,
     ) -> ShardedRunResult:
         """Vector addition sharded across a multi-device pool.
 
@@ -329,9 +332,11 @@ class VectorAddition(GPUAlgorithm):
         shrinks nearly linearly in the device count; on a fully shared link
         (``contention=1``) the copy-bound workload stops scaling — exactly
         the regime the :class:`~repro.core.sharding.ShardedCostModel`
-        prices.  ``device`` supplies the per-device configuration and the
-        functional/timing engines; data results come from the vectorised
-        kernel over the full arrays.
+        prices.  With a ``topology``, shard widths follow the per-device
+        throughput weights and each device's transfers stretch by its own
+        socket's link contention.  ``device`` supplies the per-device
+        configuration and the functional/timing engines; data results come
+        from the vectorised kernel over the full arrays.
         """
         a = np.asarray(inputs["A"])
         b = np.asarray(inputs["B"])
@@ -343,13 +348,17 @@ class VectorAddition(GPUAlgorithm):
         device.allocate("b", n, dtype=b.dtype).data[:] = b.reshape(-1)
         device.allocate("c", n, dtype=a.dtype)
 
-        pool = DevicePool(devices, config=device.config, contention=contention)
-        # Shard sizes take at most two distinct values, so memoise the
+        pool, bounds = sharded_pool_bounds(
+            device, n, devices, contention, topology
+        )
+        # Shard sizes take few distinct values, so memoise the
         # (deterministic, size-only) kernel timing instead of re-simulating
         # per device.
         timings: Dict[int, KernelTiming] = {}
-        for index, (lo, hi) in enumerate(chunk_bounds(n, devices)):
+        for index, (lo, hi) in enumerate(bounds):
             m = hi - lo
+            if m == 0:
+                continue
             for name in ("a", "b"):
                 pool.add_transfer(
                     index, m, TransferDirection.HOST_TO_DEVICE,
@@ -377,6 +386,6 @@ class VectorAddition(GPUAlgorithm):
             device.free(name)
         return ShardedRunResult(
             outputs={"C": c},
-            device_count=devices,
+            device_count=pool.num_devices,
             pool=pool,
         )

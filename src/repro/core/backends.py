@@ -33,6 +33,11 @@ Built-in backends (registered on import):
                   time (the :class:`~repro.core.sharding.ShardedCostModel`);
                   :func:`make_sharded_backend` builds variants with other
                   device counts and interconnect-contention factors
+``atgpu-topo``    placeholder resolved per spec: Expression (2) over an
+                  arbitrary :class:`~repro.core.topology.Topology`
+                  (heterogeneous presets, per-socket links, P2P shuffle)
+                  via :func:`make_topology_backend` /
+                  :func:`ensure_topology_backend`
 ==============  ========================================================
 
 New backends register through :func:`register_backend`; a convenient way to
@@ -61,7 +66,6 @@ from repro.core.batch import (
     gpu_cost_batch,
     overlapped_cost_batch,
     perfect_cost_batch,
-    sharded_cost_batch,
     swgpu_cost_batch,
 )
 from repro.core.comparison import AGPUAnalysis, SWGPUCostModel
@@ -69,7 +73,11 @@ from repro.core.cost import ATGPUCostModel, CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics
 from repro.core.occupancy import OccupancyModel
-from repro.core.sharding import sharded_gpu_cost
+from repro.core.sharding import (
+    topology_cost_batch,
+    topology_gpu_cost,
+)
+from repro.core.topology import Topology
 from repro.core.transfer import OverlappedTransferModel
 
 #: Signature of a backend's evaluation function.
@@ -426,18 +434,25 @@ def make_sharded_backend(
     and ``make_sharded_backend(4, contention=0.5)`` yields
     ``atgpu-multi4-c0.5``.  With ``devices=1`` the cost is bit-for-bit the
     serial ``atgpu`` backend's.
+
+    Since the topology refactor this factory is a thin shim over the
+    homogeneous :class:`~repro.core.topology.Topology` with the same
+    ``(devices, contention)`` — the general
+    :class:`~repro.core.sharding.TopologyCostModel` degenerates to the
+    PR 3 :class:`~repro.core.sharding.ShardedCostModel` bit for bit on
+    such fleets (enforced by tests), so one evaluator serves both.
     """
 
+    topology = Topology.homogeneous(devices, contention)
+
     def _cost(metrics, machine, parameters, occupancy) -> float:
-        return sharded_gpu_cost(
-            metrics, machine, parameters, occupancy,
-            devices=devices, contention=contention,
+        return topology_gpu_cost(
+            metrics, machine, parameters, occupancy, topology
         )
 
     def _batch(batch, machine, parameters, occupancy):
-        return sharded_cost_batch(
-            batch, machine, parameters, occupancy,
-            devices=devices, contention=contention,
+        return topology_cost_batch(
+            batch, machine, parameters, occupancy, topology
         )
 
     default = (
@@ -462,6 +477,77 @@ def make_sharded_backend(
         f"interconnect contention {contention:g})",
         evaluate_batch=_batch,
     )
+
+
+#: Placeholder backend name an :class:`~repro.experiments.spec.ExperimentSpec`
+#: may list to mean "the spec's own topology": resolution replaces it with
+#: the auto-registered per-topology backend (see ``spec.resolved_backends``).
+TOPOLOGY_BACKEND = "atgpu-topo"
+
+
+def make_topology_backend(
+    topology: Topology,
+    planner: str = "load-aware",
+    name: str = "",
+    label: str = "",
+) -> FunctionBackend:
+    """Build a topology-aware backend (Expression 2 over a device fleet).
+
+    The default name is derived from the topology's stable hash
+    (``atgpu-topo-<hash8>``, with an ``-even`` suffix for the even
+    planner), so the same fleet always resolves to the same registry
+    entry — which is what lets sessions and the serving layer coalesce
+    requests sharing a topology.
+    """
+    if not isinstance(topology, Topology):
+        raise TypeError(
+            f"topology must be a Topology, got {type(topology).__name__}"
+        )
+    if not name:
+        name = f"{TOPOLOGY_BACKEND}-{topology.topology_hash()[:8]}"
+        if planner != "load-aware":
+            name += f"-{planner}"
+    if not label:
+        label = (
+            f"ATGPU (topology, {topology.num_devices} devices"
+            + (f", {planner} planner)" if planner != "load-aware" else ")")
+        )
+
+    def _cost(metrics, machine, parameters, occupancy) -> float:
+        return topology_gpu_cost(
+            metrics, machine, parameters, occupancy, topology,
+            planner=planner,
+        )
+
+    def _batch(batch, machine, parameters, occupancy):
+        return topology_cost_batch(
+            batch, machine, parameters, occupancy, topology,
+            planner=planner,
+        )
+
+    return make_backend(
+        name,
+        label,
+        _cost,
+        f"Expression (2) over a {topology.num_devices}-device topology "
+        f"(hash {topology.topology_hash()}, {planner} shard planner)",
+        evaluate_batch=_batch,
+    )
+
+
+def ensure_topology_backend(
+    topology: Topology, planner: str = "load-aware"
+) -> str:
+    """Idempotently register the backend for ``topology``; return its name.
+
+    Thread-safe and race-tolerant: concurrent calls for the same fleet
+    all return the same name with exactly one registration winning.
+    """
+    backend = make_topology_backend(topology, planner=planner)
+    with _REGISTRY_LOCK:
+        if backend.name not in _REGISTRY:
+            _REGISTRY[backend.name] = backend
+    return backend.name
 
 
 ATGPU_BACKEND = register_backend(make_backend(

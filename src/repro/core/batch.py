@@ -48,6 +48,7 @@ from repro.core.cost import CostParameters
 from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics, CapacityError, MetricsGrid
 from repro.core.occupancy import OccupancyModel
+from repro.core.topology import contended_streaming
 from repro.utils.validation import ensure_in_range, ensure_positive_int
 
 #: Signature of a per-size metrics factory (same as ``predict_sweep`` uses).
@@ -598,7 +599,7 @@ def sharded_transfer_grid(
         streaming = words
     else:
         shard = _largest_shard_grid(words, devices)
-        streaming = contention * words + (1.0 - contention) * shard
+        streaming = contended_streaming(words, shard, contention)
     return transactions * parameters.alpha + streaming * parameters.beta
 
 

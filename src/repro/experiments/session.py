@@ -33,6 +33,7 @@ import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
@@ -43,6 +44,32 @@ from repro.core.batch import MetricsBatch
 from repro.core.prediction import SweepPrediction, predict_sweep_batch
 from repro.experiments.results import Result, ResultSet
 from repro.experiments.spec import ExperimentSpec, paper_specs
+
+
+def _rename_series(
+    prediction: SweepPrediction,
+    requested: Sequence[str],
+    resolved: Sequence[str],
+) -> SweepPrediction:
+    """Key series computed under resolved backend names by the requested ones.
+
+    Topology placeholder resolution evaluates under auto-registered names
+    (``atgpu-topo-<hash>``); callers asked for the names in their spec
+    (``atgpu-topo``), so the series dictionary is re-keyed before the
+    prediction is returned.  A no-op when nothing was resolved.
+    """
+    if tuple(requested) == tuple(resolved):
+        return prediction
+    mapping = {
+        res: req for req, res in zip(requested, resolved) if res != req
+    }
+    return replace(
+        prediction,
+        series={
+            mapping.get(name, name): values
+            for name, values in prediction.series.items()
+        },
+    )
 
 
 class EngineError(RuntimeError):
@@ -150,8 +177,11 @@ def execute_spec(
         )
     sizes = spec.resolved_sizes(algorithm)
     preset = spec.resolved_preset()
-    prediction = algorithm.predict_sweep(
-        sizes, preset=preset, backends=spec.backends
+    resolved = spec.resolved_backends()
+    prediction = _rename_series(
+        algorithm.predict_sweep(sizes, preset=preset, backends=resolved),
+        spec.backends,
+        resolved,
     )
     observation = algorithm.observe_sweep(
         sizes, config=spec.resolved_device_config(), seed=spec.seed
@@ -164,11 +194,11 @@ def predict_group(
     batch_cache: Optional[BatchCache] = None,
     algorithm: Optional[GPUAlgorithm] = None,
 ) -> List[SweepPrediction]:
-    """Coalesced predictions for specs sharing one ``(algorithm, preset)``.
+    """Coalesced predictions for specs sharing ``(algorithm, preset, topology)``.
 
     This is the coalescing core shared by :func:`execute_specs` and the
     serving layer (:mod:`repro.serving`).  All specs must name the same
-    ``(algorithm, preset)`` pair — they then describe cost-model evaluations
+    ``(algorithm, preset, topology)`` — they then describe cost-model evaluations
     over the very same metrics, so the whole group is served by **one**
     :class:`MetricsBatch` compiled over the union of its sweep sizes and
     **one** backend evaluation per distinct backends tuple; each spec's
@@ -186,19 +216,24 @@ def predict_group(
     if not specs:
         return []
     first = specs[0]
+    first_key = (first.algorithm, first.preset, first.topology_key())
     for spec in specs[1:]:
-        if (spec.algorithm, spec.preset) != (first.algorithm, first.preset):
+        if (
+            spec.algorithm, spec.preset, spec.topology_key()
+        ) != first_key:
             raise ValueError(
-                "predict_group coalesces one (algorithm, preset) group; got "
-                f"({first.algorithm!r}, {first.preset!r}) and "
-                f"({spec.algorithm!r}, {spec.preset!r})"
+                "predict_group coalesces one (algorithm, preset, topology) "
+                f"group; got ({first.algorithm!r}, {first.preset!r}, "
+                f"{first.topology_key()!r}) and ({spec.algorithm!r}, "
+                f"{spec.preset!r}, {spec.topology_key()!r})"
             )
     if algorithm is None:
         algorithm = create(first.algorithm)
     preset = first.resolved_preset()
     sizes_for = [spec.resolved_sizes(algorithm) for spec in specs]
+    resolved_for = [spec.resolved_backends() for spec in specs]
     batchable = [
-        all_backends_support_batch(spec.backends) for spec in specs
+        all_backends_support_batch(resolved) for resolved in resolved_for
     ]
     union = sorted({
         n for index, ok in enumerate(batchable) if ok
@@ -228,37 +263,45 @@ def predict_group(
     predictions: List[Optional[SweepPrediction]] = [None] * len(specs)
     for index, spec in enumerate(specs):
         sizes = sizes_for[index]
+        resolved = resolved_for[index]
         if not batchable[index]:
-            predictions[index] = algorithm.predict_sweep(
-                sizes, preset=preset, backends=spec.backends
+            predictions[index] = _rename_series(
+                algorithm.predict_sweep(
+                    sizes, preset=preset, backends=resolved
+                ),
+                spec.backends,
+                resolved,
             )
             continue
-        union_prediction = shared.get(spec.backends)
+        union_prediction = shared.get(resolved)
         if union_prediction is None:
             def evaluate() -> SweepPrediction:
                 return predict_sweep_batch(
                     algorithm.name, union_batch(), preset.machine,
                     preset.parameters, preset.occupancy,
-                    backends=spec.backends,
+                    backends=resolved,
                 )
 
             if batch_cache is not None:
                 union_prediction = batch_cache.prediction(
                     (
                         algorithm.name, first.preset, tuple(union),
-                        spec.backends,
+                        resolved, first.topology_key(),
                     ),
                     evaluate,
                 )
             else:
                 union_prediction = evaluate()
-            shared[spec.backends] = union_prediction
+            shared[resolved] = union_prediction
         if sizes == union:
-            predictions[index] = union_prediction
+            prediction = union_prediction
         else:
-            predictions[index] = union_prediction.select(
+            prediction = union_prediction.select(
                 [column[n] for n in sizes]
             )
+        predictions[index] = _rename_series(
+            prediction, spec.backends, resolved
+        )
     return [p for p in predictions if p is not None]
 
 
@@ -298,7 +341,7 @@ def execute_specs(
 ) -> List[Result]:
     """Execute a batch of specs, sharing compiled metrics within groups.
 
-    Specs naming the same ``(algorithm, preset)`` pair coalesce into one
+    Specs naming the same ``(algorithm, preset, topology)`` coalesce into one
     :func:`execute_group` call: one :class:`MetricsBatch` compiled over the
     union of the group's sweep sizes and one backend evaluation per distinct
     backends tuple serve every spec's prediction.  Compilation goes through
@@ -309,9 +352,11 @@ def execute_specs(
     simulated per spec as before.  Order is preserved.
     """
     results: List[Optional[Result]] = [None] * len(specs)
-    groups: Dict[Tuple[str, str], List[int]] = {}
+    groups: Dict[Tuple[str, str, str], List[int]] = {}
     for index, spec in enumerate(specs):
-        groups.setdefault((spec.algorithm, spec.preset), []).append(index)
+        groups.setdefault(
+            (spec.algorithm, spec.preset, spec.topology_key()), []
+        ).append(index)
     for indices in groups.values():
         group_results = execute_group(
             [specs[index] for index in indices], batch_cache=batch_cache
@@ -461,12 +506,13 @@ class ProcessPoolEngine:
         """
         results = self.map(specs)
         for spec, result in zip(specs, results):
-            if not all_backends_support_batch(spec.backends):
+            resolved = spec.resolved_backends()
+            if not all_backends_support_batch(resolved):
                 continue
             batch_cache.seed_prediction(
                 (
                     spec.algorithm, spec.preset, tuple(result.sizes),
-                    spec.backends,
+                    resolved, spec.topology_key(),
                 ),
                 result.comparison().prediction,
             )

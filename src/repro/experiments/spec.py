@@ -20,9 +20,15 @@ import json
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.backends import DEFAULT_BACKENDS
+from repro.core.backends import (
+    DEFAULT_BACKENDS,
+    TOPOLOGY_BACKEND,
+    ensure_topology_backend,
+)
 from repro.core.presets import DEFAULT_PRESET, GPUPreset, get_preset
+from repro.core.topology import Topology
 from repro.simulator.config import DeviceConfig
+from repro.utils.validation import reject_unknown_fields
 from repro.workloads.sweeps import sweep_for
 
 #: The scales a spec may name instead of explicit sizes.
@@ -54,7 +60,14 @@ class ExperimentSpec:
         Seed for the workload generators.
     backends:
         Names of the cost-model backends to evaluate
-        (:mod:`repro.core.backends`).
+        (:mod:`repro.core.backends`).  The placeholder name
+        ``"atgpu-topo"`` means "the spec's own topology" and requires
+        ``topology`` to be set; see :meth:`resolved_backends`.
+    topology:
+        Optional :class:`~repro.core.topology.Topology` describing the
+        device fleet topology-aware backends evaluate against (a plain
+        mapping is coerced).  Included in the spec hash and in every
+        caching/coalescing key derived from it.
     """
 
     algorithm: str
@@ -64,6 +77,7 @@ class ExperimentSpec:
     device_config: Optional[DeviceConfig] = None
     seed: int = 0
     backends: Tuple[str, ...] = DEFAULT_BACKENDS
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         if not self.algorithm:
@@ -84,6 +98,23 @@ class ExperimentSpec:
             raise ValueError("an experiment spec needs at least one backend")
         object.__setattr__(self, "backends", backends)
         object.__setattr__(self, "seed", int(self.seed))
+        if self.topology is not None and not isinstance(
+            self.topology, Topology
+        ):
+            if isinstance(self.topology, Mapping):
+                object.__setattr__(
+                    self, "topology", Topology.from_dict(self.topology)
+                )
+            else:
+                raise TypeError(
+                    "topology must be a Topology (or its to_dict mapping), "
+                    f"got {type(self.topology).__name__}"
+                )
+        if TOPOLOGY_BACKEND in self.backends and self.topology is None:
+            raise ValueError(
+                f"the {TOPOLOGY_BACKEND!r} backend placeholder requires the "
+                "spec to carry a topology"
+            )
 
     # ------------------------------------------------------------------ #
     # Resolution against the registries
@@ -119,6 +150,33 @@ class ExperimentSpec:
         """The simulator configuration (default: the GTX-650 device)."""
         return self.device_config or DeviceConfig.gtx650()
 
+    def topology_key(self) -> str:
+        """Topology discriminator for caching/coalescing keys.
+
+        The topology's stable hash, or ``""`` for specs without one —
+        cheap to compute (memoised on the topology) and safe to embed in
+        any tuple key.
+        """
+        return "" if self.topology is None else self.topology.topology_hash()
+
+    def resolved_backends(self) -> Tuple[str, ...]:
+        """The concrete backend names this spec evaluates.
+
+        Occurrences of the ``"atgpu-topo"`` placeholder are replaced by
+        the auto-registered backend for this spec's topology
+        (:func:`~repro.core.backends.ensure_topology_backend`); all other
+        names pass through unchanged.  Series computed under the resolved
+        names are renamed back to the requested names by the session
+        layer, so callers always see the names they asked for.
+        """
+        if TOPOLOGY_BACKEND not in self.backends:
+            return self.backends
+        resolved = ensure_topology_backend(self.topology)
+        return tuple(
+            resolved if name == TOPOLOGY_BACKEND else name
+            for name in self.backends
+        )
+
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """Copy of the spec with selected fields replaced."""
         return replace(self, **kwargs)
@@ -140,17 +198,25 @@ class ExperimentSpec:
             ),
             "seed": self.seed,
             "backends": list(self.backends),
+            "topology": (
+                self.topology.to_dict()
+                if self.topology is not None
+                else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(data) - known)
-        if unknown:
-            raise ValueError(
-                f"unknown ExperimentSpec fields: {', '.join(unknown)}"
-            )
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys raise a typed
+        :class:`~repro.utils.validation.UnknownFieldError` naming the
+        offending field, so e.g. a ``"topolgy"`` typo fails loudly
+        instead of silently producing a homogeneous spec.
+        """
+        reject_unknown_fields(
+            "ExperimentSpec", data, (f.name for f in fields(cls))
+        )
         payload = dict(data)
         device = payload.get("device_config")
         if device is not None and not isinstance(device, DeviceConfig):
@@ -161,6 +227,9 @@ class ExperimentSpec:
         backends = payload.get("backends")
         if backends is not None:
             payload["backends"] = tuple(backends)
+        topology = payload.get("topology")
+        if topology is not None and not isinstance(topology, Topology):
+            payload["topology"] = Topology.from_dict(topology)
         return cls(**payload)
 
     def to_json(self) -> str:

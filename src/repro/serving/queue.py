@@ -54,9 +54,19 @@ class PredictionRequest:
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     @property
-    def key(self) -> Tuple[str, str, str]:
-        """The coalescing key: requests sharing it dispatch together."""
-        return (self.spec.algorithm, self.spec.preset, self.mode)
+    def key(self) -> Tuple[str, str, str, str]:
+        """The coalescing key: requests sharing it dispatch together.
+
+        The topology discriminator rides at the end so positional
+        consumers of ``(algorithm, preset, mode)`` keep working; specs
+        without a topology contribute ``""``.
+        """
+        return (
+            self.spec.algorithm,
+            self.spec.preset,
+            self.mode,
+            self.spec.topology_key(),
+        )
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the deadline (if any) has passed."""
@@ -75,7 +85,7 @@ class CoalescedGroup:
     what the built-in policies order by.
     """
 
-    key: Tuple[str, str, str]
+    key: Tuple[str, str, str, str]
     requests: Tuple[PredictionRequest, ...]
 
     def __len__(self) -> int:
@@ -125,7 +135,9 @@ class RequestQueue:
             raise ValueError("max_inflight_sizes must be at least 1")
         self.max_queue_depth = max_queue_depth
         self.max_inflight_sizes = max_inflight_sizes
-        self._pending: Dict[Tuple[str, str, str], List[PredictionRequest]] = {}
+        self._pending: Dict[
+            Tuple[str, str, str, str], List[PredictionRequest]
+        ] = {}
         self._depth = 0
         self._inflight_sizes = 0
         self._closed = False

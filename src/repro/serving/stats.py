@@ -43,7 +43,7 @@ class ServerStats:
     latency_p99_s: float
     latency_mean_s: float
     #: Coalescing keys of the most recent dispatches, oldest first.
-    recent_dispatches: Tuple[Tuple[str, str, str], ...]
+    recent_dispatches: Tuple[Tuple[str, ...], ...]
 
     @property
     def coalescing_ratio(self) -> float:
@@ -78,7 +78,7 @@ class StatsCollector:
         self.dispatched_groups = 0
         self.coalesced_requests = 0
         self._latencies: Deque[float] = deque(maxlen=latency_window)
-        self._dispatches: Deque[Tuple[str, str, str]] = deque(
+        self._dispatches: Deque[Tuple[str, ...]] = deque(
             maxlen=dispatch_window
         )
         self._lock = threading.Lock()
@@ -91,7 +91,7 @@ class StatsCollector:
         with self._lock:
             self.rejected += 1
 
-    def record_dispatch(self, key: Tuple[str, str, str], size: int) -> None:
+    def record_dispatch(self, key: Tuple[str, ...], size: int) -> None:
         with self._lock:
             self.dispatched_groups += 1
             self.coalesced_requests += size

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.topology import Topology, contention_stretch
 from repro.core.transfer import TransferDirection
 from repro.simulator.config import DeviceConfig
 from repro.simulator.streams import Stream, StreamOp, StreamOpKind, StreamTimeline
@@ -32,28 +33,70 @@ from repro.utils.validation import ensure_in_range, ensure_positive_int
 
 
 class DevicePool:
-    """``P`` stream timelines over one shared host link.
+    """``P`` stream timelines over one (or, with a topology, several) host links.
 
     Parameters
     ----------
     devices:
-        Number of simulated devices in the pool.
+        Number of simulated devices in the pool.  Optional when
+        ``topology`` is given (it then defaults to the topology's device
+        count; both may be passed if they agree).
     config:
         The per-device configuration (all devices are identical); defaults
         to the GTX-650-like device.
     contention:
         Interconnect-contention factor in ``[0, 1]`` (see module docs).
+        Ignored when ``topology`` is given — each device then stretches by
+        its *own socket's* host-link contention over the devices sharing
+        that socket.
+    topology:
+        Optional :class:`~repro.core.topology.Topology`.  Devices on a
+        socket with ``n`` peers and host-link contention ``c`` stretch
+        their streaming time by :func:`~repro.core.topology.contention_stretch`
+        ``(n, c)``; devices on different sockets do not contend with each
+        other, so heterogeneous fleets get per-device link stretch from
+        the same description the analytic model prices.
     """
 
     def __init__(
         self,
-        devices: int,
+        devices: Optional[int] = None,
         config: Optional[DeviceConfig] = None,
         contention: float = 0.0,
+        topology: Optional[Topology] = None,
     ) -> None:
+        if topology is not None:
+            if not isinstance(topology, Topology):
+                raise TypeError(
+                    "topology must be a Topology, got "
+                    f"{type(topology).__name__}"
+                )
+            if devices is not None and devices != topology.num_devices:
+                raise ValueError(
+                    f"devices={devices} disagrees with the topology's "
+                    f"{topology.num_devices} devices"
+                )
+            devices = topology.num_devices
+        elif devices is None:
+            raise ValueError("a device pool needs devices or a topology")
         self.num_devices = ensure_positive_int(devices, "devices")
         self.config = config or DeviceConfig.gtx650()
         self.contention = ensure_in_range(contention, "contention", 0.0, 1.0)
+        self.topology = topology
+        if topology is None:
+            stretch = contention_stretch(self.num_devices, self.contention)
+            self._stretches: Tuple[float, ...] = (
+                stretch,
+            ) * self.num_devices
+        else:
+            stretches = []
+            for device in topology.devices:
+                link = topology.host_link(device.socket)
+                peers = len(topology.devices_on_socket(device.socket))
+                stretches.append(
+                    contention_stretch(peers, link.contention)
+                )
+            self._stretches = tuple(stretches)
         self.transfer_engine = TransferEngine(self.config)
         self.timelines: List[StreamTimeline] = [
             StreamTimeline() for _ in range(self.num_devices)
@@ -65,18 +108,45 @@ class DevicePool:
     # ------------------------------------------------------------------ #
     @property
     def link_stretch(self) -> float:
-        """Streaming-time multiplier on the shared link, ``1 + c·(P-1)``."""
-        return 1.0 + self.contention * (self.num_devices - 1)
+        """Streaming-time multiplier, ``1 + c·(P-1)``, worst link first.
+
+        Without a topology every device shares one link so this is *the*
+        stretch; with one it is the most-contended socket's (use
+        :meth:`device_stretch` for a specific device).
+        """
+        return max(self._stretches)
+
+    def device_stretch(self, device: int) -> float:
+        """Streaming-time multiplier on one device's host link."""
+        if not 0 <= device < self.num_devices:
+            raise IndexError(
+                f"device index {device} outside pool of {self.num_devices}"
+            )
+        return self._stretches[device]
 
     def transfer_duration(
-        self, words: int, direction: TransferDirection, pinned: bool = False
+        self,
+        words: int,
+        direction: TransferDirection,
+        pinned: bool = False,
+        device: Optional[int] = None,
     ) -> float:
-        """Seconds one device spends moving ``words`` words over the link."""
+        """Seconds one device spends moving ``words`` words over its link.
+
+        ``device`` selects the per-device stretch under a topology; when
+        omitted the pool-wide (worst-link) stretch applies, which matches
+        the pre-topology behaviour for homogeneous pools.
+        """
         base = self.transfer_engine.duration(words, direction, pinned=pinned)
-        if base == 0.0 or self.link_stretch == 1.0:
+        stretch = (
+            self.link_stretch
+            if device is None
+            else self.device_stretch(device)
+        )
+        if base == 0.0 or stretch == 1.0:
             return base
         streaming = base - self.config.transfer_latency_s
-        return self.config.transfer_latency_s + streaming * self.link_stretch
+        return self.config.transfer_latency_s + streaming * stretch
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -109,7 +179,9 @@ class DevicePool:
         self._serial_time_s += self.transfer_engine.duration(
             words, direction, pinned=pinned
         )
-        duration = self.transfer_duration(words, direction, pinned=pinned)
+        duration = self.transfer_duration(
+            words, direction, pinned=pinned, device=device
+        )
         record = TransferRecord(
             direction=direction,
             words=int(words),
@@ -208,11 +280,20 @@ class DevicePool:
 
     def render(self) -> str:
         """Profiler-style rendering: one section per device."""
-        sections = [
-            f"Pool: {self.num_devices} devices, contention "
-            f"{self.contention:g} (link stretch {self.link_stretch:g}x), "
-            f"makespan {self.makespan_s * 1e3:.4f} ms"
-        ]
+        if self.topology is None:
+            header = (
+                f"Pool: {self.num_devices} devices, contention "
+                f"{self.contention:g} (link stretch {self.link_stretch:g}x), "
+                f"makespan {self.makespan_s * 1e3:.4f} ms"
+            )
+        else:
+            header = (
+                f"Pool: {self.num_devices} devices over "
+                f"{len(self.topology.sockets)} socket(s) (worst link "
+                f"stretch {self.link_stretch:g}x), "
+                f"makespan {self.makespan_s * 1e3:.4f} ms"
+            )
+        sections = [header]
         for index, timeline in enumerate(self.timelines):
             sections.append(
                 f"-- device {index} "

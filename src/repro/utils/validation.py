@@ -9,7 +9,41 @@ the public API.
 from __future__ import annotations
 
 from numbers import Integral, Real
-from typing import Optional
+from typing import Iterable, Optional, Sequence
+
+
+class UnknownFieldError(ValueError):
+    """A mapping carried keys the target dataclass does not declare.
+
+    Raised by the ``from_dict`` deserialisers so a typo'd field (e.g.
+    ``"topolgy"`` on an :class:`~repro.experiments.spec.ExperimentSpec`)
+    fails loudly with the offending name instead of silently producing a
+    default-valued object.  Subclasses :class:`ValueError` so existing
+    broad handlers keep working; the offending names are available
+    programmatically on :attr:`fields`.
+    """
+
+    def __init__(
+        self, kind: str, fields: Sequence[str], known: Iterable[str]
+    ) -> None:
+        self.kind = kind
+        self.fields = tuple(fields)
+        self.known = tuple(sorted(known))
+        plural = "s" if len(self.fields) != 1 else ""
+        super().__init__(
+            f"unknown {kind} field{plural}: {', '.join(self.fields)}; "
+            f"known fields: {', '.join(self.known)}"
+        )
+
+
+def reject_unknown_fields(
+    kind: str, data: Iterable[str], known: Iterable[str]
+) -> None:
+    """Raise :class:`UnknownFieldError` for keys outside ``known``."""
+    known = set(known)
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise UnknownFieldError(kind, unknown, known)
 
 
 def ensure_positive(value: float, name: str) -> float:
