@@ -12,7 +12,6 @@ them and the analysis charges the worst-case serialisation.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -41,6 +40,7 @@ from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -71,7 +71,7 @@ class BlockHistogramKernel(KernelProgram):
         return self.warp_width * self.elements_per_thread
 
     def grid_size(self) -> int:
-        return math.ceil(self.n / self.segment)
+        return ceil_div(self.n, self.segment)
 
     def array_names(self) -> Tuple[str, ...]:
         return (self.src, self.partials)
@@ -123,7 +123,7 @@ class MergePartialsKernel(KernelProgram):
         self.partials, self.out = partials, out
 
     def grid_size(self) -> int:
-        return math.ceil(self.bins / self.warp_width)
+        return ceil_div(self.bins, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return (self.partials, self.out)
@@ -179,8 +179,8 @@ class Histogram(GPUAlgorithm):
     def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
         b = machine.b
         ept = self.elements_per_thread
-        blocks = math.ceil(n / (b * ept))
-        bin_blocks = math.ceil(self.bins / b)
+        blocks = ceil_div(n, (b * ept))
+        bin_blocks = ceil_div(self.bins, b)
         build_round = RoundMetrics(
             # Per chunk: load and scatter (worst-case b-way serialisation is
             # charged as b operations), plus the partial write-back.
@@ -208,8 +208,8 @@ class Histogram(GPUAlgorithm):
         sizes = size_vector(ns)
         b = machine.b
         ept = self.elements_per_thread
-        blocks = np.ceil(sizes / (b * ept)).astype(np.int64)
-        bin_blocks = math.ceil(self.bins / b)
+        blocks = ceil_div(sizes, (b * ept)).astype(np.int64)
+        bin_blocks = ceil_div(self.bins, b)
         global_words = (sizes + blocks * self.bins + self.bins).astype(float)
         n_sizes = len(sizes)
         build_round = round_arrays(
@@ -239,8 +239,8 @@ class Histogram(GPUAlgorithm):
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b
         ept = self.elements_per_thread
-        blocks = math.ceil(n / (b * ept))
-        bin_blocks = max(1, math.ceil(self.bins / b))
+        blocks = ceil_div(n, (b * ept))
+        bin_blocks = max(1, ceil_div(self.bins, b))
         build_body = (
             Loop(count=ept, var="chunk", body=(
                 GlobalToShared("_seg", "a"),
@@ -288,7 +288,7 @@ class Histogram(GPUAlgorithm):
         a = np.asarray(inputs["A"], dtype=np.int64)
         n = a.size
         b = device.config.warp_width
-        blocks = math.ceil(n / (b * self.elements_per_thread))
+        blocks = ceil_div(n, (b * self.elements_per_thread))
         device.reset_timers()
         device.memcpy_htod("a", a)
         device.allocate("partials", blocks * self.bins, dtype=np.int64)

@@ -20,7 +20,6 @@ SWGPU (kernel-only) prediction is already adequate.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -50,6 +49,7 @@ from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -71,7 +71,7 @@ class MatrixMultiplicationKernel(KernelProgram):
     @property
     def tiles_per_side(self) -> int:
         """Number of ``b``-wide tiles along one matrix side."""
-        return math.ceil(self.n / self.tile)
+        return ceil_div(self.n, self.tile)
 
     def grid_size(self) -> int:
         return self.tiles_per_side ** 2
@@ -156,7 +156,7 @@ class MatrixMultiplication(GPUAlgorithm):
     def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
         ensure_positive_int(n, "n")
         b = min(machine.b, n)
-        tiles = math.ceil(n / b)
+        tiles = ceil_div(n, b)
         blocks = tiles ** 2
         io_per_block = tiles * 2 * b + b  # load A+B tiles each k-step, store C tile
         round_metrics = RoundMetrics(
@@ -181,7 +181,7 @@ class MatrixMultiplication(GPUAlgorithm):
         """
         sizes = size_vector(ns)
         b = np.minimum(machine.b, sizes)
-        tiles = np.ceil(sizes / b).astype(np.int64)
+        tiles = ceil_div(sizes, b).astype(np.int64)
         blocks = tiles ** 2
         io_per_block = tiles * 2 * b + b  # load A+B tiles each k-step, store C tile
         return metrics_grid(sizes, [round_arrays(
@@ -201,7 +201,7 @@ class MatrixMultiplication(GPUAlgorithm):
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         ensure_positive_int(n, "n")
         b = min(machine.b, n)
-        tiles = math.ceil(n / b)
+        tiles = ceil_div(n, b)
         kernel = KernelLaunch(
             grid_blocks=tiles ** 2,
             shared_declarations=(

@@ -65,6 +65,7 @@ from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
 from repro.simulator.streams import StreamOpKind, StreamTimeline
 from repro.simulator.timing import KernelTiming
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -80,7 +81,7 @@ def reduction_rounds(n: int, b: int) -> List[int]:
     size = n
     while size > 1:
         sizes.append(size)
-        size = math.ceil(size / b)
+        size = ceil_div(size, b)
     if not sizes:
         sizes = [n]
     return sizes
@@ -98,7 +99,7 @@ class ReductionRoundKernel(KernelProgram):
         self.dst = dst
 
     def grid_size(self) -> int:
-        return math.ceil(self.m / self.warp_width)
+        return ceil_div(self.m, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return (self.src, self.dst)
@@ -175,7 +176,7 @@ class Reduction(GPUAlgorithm):
         sizes = reduction_rounds(n, b)
         rounds = []
         for index, size in enumerate(sizes):
-            blocks = math.ceil(size / b)
+            blocks = ceil_div(size, b)
             rounds.append(RoundMetrics(
                 # Load, log2(b) tree steps (divergent, so doubled), store.
                 time=2.0 + 2.0 * tree_depth,
@@ -185,7 +186,7 @@ class Reduction(GPUAlgorithm):
                 inward_transactions=1 if index == 0 else 0,
                 outward_words=1.0 if index == len(sizes) - 1 else 0.0,
                 outward_transactions=1 if index == len(sizes) - 1 else 0,
-                global_words=float(n + math.ceil(n / b)),
+                global_words=float(n + ceil_div(n, b)),
                 shared_words_per_mp=float(b),
                 thread_blocks=blocks,
                 label=f"reduction level {index + 1} ({size} values)",
@@ -212,7 +213,7 @@ class Reduction(GPUAlgorithm):
         present = np.ones(n_sizes, dtype=bool)
         while True:
             levels.append((current, present))
-            nxt = np.ceil(current / b).astype(np.int64)
+            nxt = ceil_div(current, b).astype(np.int64)
             present = present & (nxt > 1)
             if not present.any():
                 break
@@ -221,10 +222,10 @@ class Reduction(GPUAlgorithm):
             (p.astype(np.int64) for _, p in levels),
             np.zeros(n_sizes, dtype=np.int64),
         )
-        global_words = (sizes + np.ceil(sizes / b).astype(np.int64)).astype(float)
+        global_words = (sizes + ceil_div(sizes, b).astype(np.int64)).astype(float)
         rounds = []
         for index, (level_sizes, level_present) in enumerate(levels):
-            blocks = np.ceil(level_sizes / b).astype(np.int64)
+            blocks = ceil_div(level_sizes, b).astype(np.int64)
             last = depths == index + 1
             rounds.append(round_arrays(
                 n_sizes,
@@ -254,13 +255,13 @@ class Reduction(GPUAlgorithm):
             host_var("A", n),
             host_var("Ans", 1),
             global_var("a", n),
-            global_var("partials", max(1, math.ceil(n / b))),
+            global_var("partials", max(1, ceil_div(n, b))),
             shared_var("_s", b),
         ]
         for index, size in enumerate(sizes):
             src = "a" if index % 2 == 0 else "partials"
             dst = "partials" if index % 2 == 0 else "a"
-            blocks = math.ceil(size / b)
+            blocks = ceil_div(size, b)
             kernel = KernelLaunch(
                 grid_blocks=blocks,
                 shared_declarations=(shared_var("_s", b),),
@@ -309,7 +310,7 @@ class Reduction(GPUAlgorithm):
         b = device.config.warp_width
         device.reset_timers()
         device.memcpy_htod("a", a)
-        device.allocate("partials", max(1, math.ceil(n / b)), dtype=a.dtype)
+        device.allocate("partials", max(1, ceil_div(n, b)), dtype=a.dtype)
         src, dst = "a", "partials"
         for size in reduction_rounds(n, b):
             kernel = ReductionRoundKernel(size, b, src=src, dst=dst)
@@ -359,7 +360,7 @@ class Reduction(GPUAlgorithm):
         bounds = chunk_bounds(n, chunks)
         # Every chunk contributes ceil(m/b) partial sums; with many small
         # chunks that exceeds the ceil(n/b) of the unchunked run.
-        total_partials = sum(math.ceil((hi - lo) / b) for lo, hi in bounds)
+        total_partials = sum(ceil_div((hi - lo), b) for lo, hi in bounds)
         device.reset_timers()
         device.allocate("a", n, dtype=a.dtype).data[:] = a.reshape(-1)
         device.allocate("partials", max(1, total_partials), dtype=a.dtype)
@@ -437,7 +438,7 @@ class Reduction(GPUAlgorithm):
         device.reset_timers()
         device.allocate("a", n, dtype=a.dtype).data[:] = a.reshape(-1)
         device.allocate(
-            "partials", max(1, math.ceil(n / b)), dtype=a.dtype
+            "partials", max(1, ceil_div(n, b)), dtype=a.dtype
         )
         # Sampled trace blocks really execute against the shared arrays, so
         # take the answer before any tracing mutates them.

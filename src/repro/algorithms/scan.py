@@ -48,6 +48,7 @@ from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -62,7 +63,7 @@ class BlockScanKernel(KernelProgram):
         self.src, self.dst, self.totals = src, dst, totals
 
     def grid_size(self) -> int:
-        return math.ceil(self.m / self.warp_width)
+        return ceil_div(self.m, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return (self.src, self.dst, self.totals)
@@ -118,7 +119,7 @@ class AddOffsetsKernel(KernelProgram):
         self.data, self.offsets = data, offsets
 
     def grid_size(self) -> int:
-        return math.ceil(self.m / self.warp_width)
+        return ceil_div(self.m, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return (self.data, self.offsets)
@@ -172,7 +173,7 @@ class PrefixSum(GPUAlgorithm):
     def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
         ensure_positive_int(n, "n")
         b = machine.b
-        blocks = math.ceil(n / b)
+        blocks = ceil_div(n, b)
         depth = max(1.0, math.log2(b))
         scan_round = RoundMetrics(
             time=2.0 + 2.0 * depth,
@@ -183,7 +184,7 @@ class PrefixSum(GPUAlgorithm):
             thread_blocks=blocks,
             label="block scan",
         )
-        totals_blocks = max(1, math.ceil(blocks / b))
+        totals_blocks = max(1, ceil_div(blocks, b))
         totals_round = RoundMetrics(
             time=2.0 + 2.0 * depth,
             io_blocks=3.0 * totals_blocks,
@@ -207,10 +208,10 @@ class PrefixSum(GPUAlgorithm):
         """Vectorized :meth:`metrics`: the three scan phases over a size vector."""
         sizes = size_vector(ns)
         b = machine.b
-        blocks = np.ceil(sizes / b).astype(np.int64)
+        blocks = ceil_div(sizes, b).astype(np.int64)
         depth = max(1.0, math.log2(b))
         phase_time = 2.0 + 2.0 * depth
-        totals_blocks = np.maximum(1, np.ceil(blocks / b).astype(np.int64))
+        totals_blocks = np.maximum(1, ceil_div(blocks, b).astype(np.int64))
         global_words = (2 * sizes + blocks).astype(float)
         n_sizes = len(sizes)
         scan_round = round_arrays(
@@ -248,7 +249,7 @@ class PrefixSum(GPUAlgorithm):
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b
-        blocks = math.ceil(n / b)
+        blocks = ceil_div(n, b)
         depth = max(1, int(math.ceil(math.log2(b))))
         scan_body = (
             GlobalToShared("_s", "a"),
@@ -280,7 +281,7 @@ class PrefixSum(GPUAlgorithm):
                     label="block scan",
                 ),
                 Round(
-                    launches=(KernelLaunch(max(1, math.ceil(blocks / b)), scan_body,
+                    launches=(KernelLaunch(max(1, ceil_div(blocks, b)), scan_body,
                                            (shared_var("_s", b),), "totals scan"),),
                     label="totals scan",
                 ),
@@ -311,7 +312,7 @@ class PrefixSum(GPUAlgorithm):
             """Scan ``name`` (of ``length`` words) and return the scanned array name."""
             scanned = f"{name}_scanned"
             totals = f"{name}_totals"
-            blocks = math.ceil(length / b)
+            blocks = ceil_div(length, b)
             device.allocate(scanned, length, dtype=np.float64)
             device.allocate(totals, blocks, dtype=np.float64)
             allocated.extend([scanned, totals])

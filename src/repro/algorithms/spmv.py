@@ -14,7 +14,6 @@ result vector returns; for low ``nnz/row`` the transfer share is high.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -43,6 +42,7 @@ from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -57,7 +57,7 @@ class CSRSpMVKernel(KernelProgram):
         self.max_row_nnz = ensure_positive_int(max_row_nnz, "max_row_nnz")
 
     def grid_size(self) -> int:
-        return math.ceil(self.rows / self.warp_width)
+        return ceil_div(self.rows, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return ("values", "colidx", "rowptr", "x", "y")
@@ -144,7 +144,7 @@ class SpMV(GPUAlgorithm):
     def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
         b = machine.b
         nnz = self.nnz_per_row
-        blocks = math.ceil(n / b)
+        blocks = ceil_div(n, b)
         total_nnz = n * nnz
         round_metrics = RoundMetrics(
             time=float(2 + nnz),
@@ -167,7 +167,7 @@ class SpMV(GPUAlgorithm):
         sizes = size_vector(ns)
         b = machine.b
         nnz = self.nnz_per_row
-        blocks = np.ceil(sizes / b).astype(np.int64)
+        blocks = ceil_div(sizes, b).astype(np.int64)
         total_nnz = sizes * nnz
         return metrics_grid(sizes, [round_arrays(
             len(sizes),
@@ -188,7 +188,7 @@ class SpMV(GPUAlgorithm):
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b
         nnz = self.nnz_per_row
-        blocks = math.ceil(n / b)
+        blocks = ceil_div(n, b)
         body = (
             GlobalToShared("_row", "rowptr", blocks_per_mp=1),
             Loop(count=nnz, var="step", body=(

@@ -16,7 +16,6 @@ it behaves like vector addition (transfer-bound).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -44,6 +43,7 @@ from repro.pseudocode.variables import global_var, host_var, shared_var
 from repro.simulator.device import GPUDevice
 from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -58,7 +58,7 @@ class StencilKernel(KernelProgram):
         self.src, self.dst = src, dst
 
     def grid_size(self) -> int:
-        return math.ceil(self.n / self.warp_width)
+        return ceil_div(self.n, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return (self.src, self.dst)
@@ -120,7 +120,7 @@ class Stencil1D(GPUAlgorithm):
 
     def metrics(self, n: int, machine: ATGPUMachine) -> AlgorithmMetrics:
         b = machine.b
-        blocks = math.ceil(n / b)
+        blocks = ceil_div(n, b)
         rounds = []
         for iteration in range(self.iterations):
             rounds.append(RoundMetrics(
@@ -146,7 +146,7 @@ class Stencil1D(GPUAlgorithm):
         """
         sizes = size_vector(ns)
         b = machine.b
-        blocks = np.ceil(sizes / b).astype(np.int64)
+        blocks = ceil_div(sizes, b).astype(np.int64)
         n_sizes = len(sizes)
         rounds = []
         for iteration in range(self.iterations):
@@ -173,7 +173,7 @@ class Stencil1D(GPUAlgorithm):
 
     def build_pseudocode(self, n: int, machine: ATGPUMachine) -> Program:
         b = machine.b
-        blocks = math.ceil(n / b)
+        blocks = ceil_div(n, b)
         body = (
             GlobalToShared("_tile", "u", blocks_per_mp=3),
             SharedCompute("_out", "(_tile[j-1] + _tile[j] + _tile[j+1]) / 3",

@@ -18,7 +18,6 @@ the ``3`` operations with ``⌈k/(k'ℓ)⌉·3`` (Expression 2).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -58,6 +57,7 @@ from repro.simulator.kernel import BlockContext, KernelProgram
 from repro.simulator.memory import DeviceArray
 from repro.simulator.streams import StreamOpKind, StreamTimeline
 from repro.simulator.timing import KernelTiming
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 #: Operations charged per MP by the paper's analysis of the kernel.
@@ -76,7 +76,7 @@ class VectorAdditionKernel(KernelProgram):
         self.warp_width = ensure_positive_int(warp_width, "warp_width")
 
     def grid_size(self) -> int:
-        return math.ceil(self.n / self.warp_width)
+        return ceil_div(self.n, self.warp_width)
 
     def array_names(self) -> Tuple[str, ...]:
         return ("a", "b", "c")

@@ -252,13 +252,15 @@ def get_backend(name: str) -> CostModel:
 
     Raises :class:`KeyError` listing the registered names when unknown.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError as exc:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(
-            f"unknown cost-model backend {name!r}; registered backends: {known}"
-        ) from exc
+    with _REGISTRY_LOCK:
+        try:
+            return _REGISTRY[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(
+                f"unknown cost-model backend {name!r}; "
+                f"registered backends: {known}"
+            ) from exc
 
 
 def backend_names() -> Tuple[str, ...]:
@@ -269,7 +271,8 @@ def backend_names() -> Tuple[str, ...]:
 
 def backend_label(name: str) -> str:
     """Display label for a backend name (the name itself when unregistered)."""
-    backend = _REGISTRY.get(name)
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
     return backend.label if backend is not None else name
 
 

@@ -49,6 +49,7 @@ from repro.core.machine import ATGPUMachine
 from repro.core.metrics import AlgorithmMetrics, CapacityError, MetricsGrid
 from repro.core.occupancy import OccupancyModel
 from repro.core.topology import contended_streaming
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_in_range, ensure_positive_int
 
 #: Signature of a per-size metrics factory (same as ``predict_sweep`` uses).
@@ -421,7 +422,7 @@ def wave_grid(
 ) -> np.ndarray:
     """Elementwise wave count ``⌈k_i / (k'·ℓ)⌉`` over the batch grids."""
     ensure_positive_int(physical_mps, "physical_mps")
-    return np.ceil(thread_blocks / (physical_mps * blocks_per_mp))
+    return ceil_div(thread_blocks, (physical_mps * blocks_per_mp))
 
 
 def _waves(
@@ -584,7 +585,7 @@ def overlapped_cost_batch(
 def _largest_shard_grid(words: np.ndarray, devices: int) -> np.ndarray:
     """Elementwise :func:`repro.core.sharding.largest_shard` over a grid."""
     whole = words == np.floor(words)
-    return np.where(whole, np.ceil(words / devices), words / devices)
+    return np.where(whole, ceil_div(words, devices), words / devices)
 
 
 def sharded_transfer_grid(
@@ -627,7 +628,7 @@ def sharded_cost_batch(
         )
     batch.validate_against(machine)
     params = parameters
-    straggler = np.ceil(batch.thread_blocks / devices)
+    straggler = ceil_div(batch.thread_blocks, devices)
     waves = _waves(batch, machine, occupancy, thread_blocks=straggler)
     compute = waves * batch.time / params.gamma
     io_share = straggler / batch.thread_blocks

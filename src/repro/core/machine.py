@@ -17,11 +17,11 @@ distinct banks, and the global memory is divided into blocks of ``b`` words.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_positive_int
 
 
@@ -132,7 +132,7 @@ class ATGPUMachine:
         """Number of global-memory blocks needed to hold ``words`` words."""
         if words < 0:
             raise ValueError(f"words must be >= 0, got {words!r}")
-        return math.ceil(words / self.b)
+        return ceil_div(words, self.b)
 
     def block_of_address(self, address: int) -> int:
         """Index of the global-memory block containing word ``address``."""
@@ -152,7 +152,7 @@ class ATGPUMachine:
         """Number of ``b``-wide thread blocks needed for ``threads`` threads."""
         if threads <= 0:
             raise ValueError(f"threads must be > 0, got {threads!r}")
-        return math.ceil(threads / self.b)
+        return ceil_div(threads, self.b)
 
     def thread_blocks_grid(self, threads) -> np.ndarray:
         """Vectorized twin of :meth:`thread_blocks_for` over a size vector.
@@ -165,7 +165,7 @@ class ATGPUMachine:
         if np.any(t <= 0):
             at = t[t <= 0]
             raise ValueError(f"threads must be > 0, got {int(at.flat[0])!r}")
-        return np.ceil(t / self.b).astype(np.int64)
+        return ceil_div(t, self.b).astype(np.int64)
 
     def describe(self) -> str:
         """One-line human readable description of the machine instance."""
@@ -185,5 +185,5 @@ def perfect_machine_for(threads: int, b: int, M: int, G: int) -> ATGPUMachine:
     """
     ensure_positive_int(threads, "threads")
     ensure_positive_int(b, "b")
-    k = math.ceil(threads / b)
+    k = ceil_div(threads, b)
     return ATGPUMachine(p=k * b, b=b, M=M, G=G)

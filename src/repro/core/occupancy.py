@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import ensure_non_negative, ensure_positive_int
 
 
@@ -62,7 +63,7 @@ def wave_count(thread_blocks: int, physical_mps: int, blocks_per_mp: int) -> int
     ensure_positive_int(thread_blocks, "thread_blocks")
     ensure_positive_int(physical_mps, "physical_mps")
     ensure_positive_int(blocks_per_mp, "blocks_per_mp")
-    return math.ceil(thread_blocks / (physical_mps * blocks_per_mp))
+    return ceil_div(thread_blocks, (physical_mps * blocks_per_mp))
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,7 @@ from repro.core.topology import (
     plan_shards,
 )
 from repro.core.transfer import BoyerTransferModel
+from repro.utils.numerics import ceil_div
 from repro.utils.validation import (
     ensure_in_range,
     ensure_non_negative,
@@ -81,7 +82,7 @@ def largest_shard(words: float, devices: int) -> float:
     if words == 0:
         return 0.0
     if float(words).is_integer():
-        return float(math.ceil(words / devices))
+        return float(ceil_div(words, devices))
     return words / devices
 
 
@@ -222,7 +223,7 @@ class ShardedCostModel:
     def straggler_blocks(self, thread_blocks: int) -> int:
         """Thread blocks on the most-loaded device, ``⌈k_i / P⌉``."""
         ensure_positive_int(thread_blocks, "thread_blocks")
-        return math.ceil(thread_blocks / self.devices)
+        return ceil_div(thread_blocks, self.devices)
 
     def _device_kernel_terms(
         self, blocks: int, metrics: RoundMetrics

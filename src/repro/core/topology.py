@@ -449,6 +449,7 @@ class Topology:
             cached = hashlib.sha256(
                 self.to_json().encode("utf-8")
             ).hexdigest()[:16]
+            # repro-lint: disable=FRZ001 -- write-once memo derived from frozen fields
             object.__setattr__(self, "_topology_hash", cached)
         return cached
 

@@ -16,7 +16,7 @@ algorithm so the figure and table builders can consume it directly.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -27,6 +27,7 @@ from repro.core.prediction import (
     SweepPrediction,
 )
 from repro.experiments.spec import ExperimentSpec
+from repro.utils.validation import reject_unknown_fields
 
 
 @dataclass
@@ -182,7 +183,14 @@ class Result:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Result":
-        """Rebuild a result from :meth:`to_dict` output."""
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``spec_hash`` is accepted (``to_dict`` emits it as a convenience
+        for external consumers) but recomputed from the spec, never
+        trusted; any other unknown key is rejected.
+        """
+        known = [f.name for f in fields(cls)] + ["spec_hash"]
+        reject_unknown_fields("Result", data, known)
         return cls(
             spec=ExperimentSpec.from_dict(data["spec"]),
             sizes=[int(n) for n in data["sizes"]],
@@ -264,6 +272,7 @@ class ResultSet:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ResultSet":
         """Rebuild a batch from :meth:`to_dict` output."""
+        reject_unknown_fields("ResultSet", data, ("results",))
         return cls(results=[Result.from_dict(r) for r in data["results"]])
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -447,7 +447,8 @@ class ProcessPoolEngine:
     @property
     def pool(self) -> Optional[ProcessPoolExecutor]:
         """The live executor, or ``None`` before first use / after close."""
-        return self._pool
+        with self._lock:
+            return self._pool
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:

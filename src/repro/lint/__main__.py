@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — run the invariant checker."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

@@ -21,6 +21,7 @@ from repro.utils.validation import (
     ensure_non_negative,
     ensure_positive,
     ensure_positive_int,
+    reject_unknown_fields,
 )
 
 #: Bytes per simulator word (the paper's kernels operate on 4-byte integers).
@@ -153,12 +154,9 @@ class DeviceConfig:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DeviceConfig":
         """Rebuild a configuration from :meth:`to_dict` output."""
-        known = {f.name for f in fields(cls)}
-        unknown = sorted(set(data) - known)
-        if unknown:
-            raise ValueError(
-                f"unknown DeviceConfig fields: {', '.join(unknown)}"
-            )
+        reject_unknown_fields(
+            "DeviceConfig", data, (f.name for f in fields(cls))
+        )
         return cls(**dict(data))
 
     def config_hash(self) -> str:

@@ -9,8 +9,11 @@ model, the simulator and the experiment harness:
   bytes for a given clock rate / word size.
 * :mod:`repro.utils.stats` -- series normalisation, relative errors and the
   "capture fraction" statistics reported in Section IV-D of the paper.
+* :mod:`repro.utils.numerics` -- the blessed numeric idioms (``ceil_div``)
+  that keep the scalar and vectorized cost paths bitwise identical.
 """
 
+from repro.utils.numerics import ceil_div
 from repro.utils.stats import (
     average,
     capture_fraction,
@@ -35,6 +38,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "average",
+    "ceil_div",
     "capture_fraction",
     "mean_absolute_difference",
     "normalise_series",

@@ -1,0 +1,48 @@
+"""Numeric idioms shared by the scalar and the vectorized cost paths.
+
+The package's bit-for-bit scalar/batch parity (PR 4/PR 5) rests on every
+ceiling-of-a-quotient being computed the same way on both paths: the scalar
+models use ``math.ceil(a / b)`` (true float division, then ceil) and the
+array programs mirror it with ``np.ceil(a / b)``.  Mixing in the integer
+idiom ``-(-a // b)`` — or floor-dividing on one path and float-dividing on
+the other — produces values that differ in the last bit for large operands,
+which the parity tests then surface as a one-ULP cost disagreement.
+
+:func:`ceil_div` is the single blessed spelling of that idiom.  The static
+checker (:mod:`repro.lint`, rule ``CEIL001``) flags any direct
+``math.ceil(x / y)`` / ``np.ceil(x / y)`` / ``-(-x // y)`` in metrics and
+cost code outside this module, so the float-division contract cannot drift
+call site by call site.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = ["ceil_div"]
+
+#: Operand types :func:`ceil_div` accepts on either side.
+Number = Union[int, float, np.ndarray]
+
+
+def ceil_div(numerator: Number, denominator: Number) -> Number:
+    """Ceiling of ``numerator / denominator`` via true float division.
+
+    Dispatches on the operand types so one spelling serves both paths:
+
+    * scalars evaluate ``math.ceil(numerator / denominator)`` and return a
+      Python ``int`` — exactly the scalar models' historical idiom;
+    * arrays (either operand) evaluate ``np.ceil(numerator / denominator)``
+      and return a float array — exactly the batch programs' idiom, which
+      NumPy's elementwise ceil-of-true-division makes bitwise identical to
+      the scalar result for every element.
+
+    Callers needing integer arrays keep their ``.astype(np.int64)`` at the
+    call site, as before.
+    """
+    if isinstance(numerator, np.ndarray) or isinstance(denominator, np.ndarray):
+        return np.ceil(numerator / denominator)
+    return math.ceil(numerator / denominator)
