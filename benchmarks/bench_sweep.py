@@ -181,6 +181,47 @@ def bench_entry(
     }
 
 
+#: Points in the dense sweep of the batched-simulator section (the ISSUE
+#: gate is defined on a 128-point sweep).
+SIM_DENSE_POINTS = 128
+
+
+def sim_batch_section(repeats: int = 3, points: int = SIM_DENSE_POINTS) -> Dict:
+    """Scalar vs batched **simulator** wall time on a dense sweep.
+
+    Times ``observe_sweep`` end to end on both paths — the scalar per-size
+    device loop against the :mod:`repro.simulator.batch` probe-and-replay
+    path — and asserts bit-for-bit parity of every reported series before
+    recording.  The scalar loop is timed once (it dominates the section's
+    wall time at tens of seconds); the batched path is best-of-``repeats``.
+    """
+    algorithm = VectorAddition()
+    sizes = dense_sizes(points)
+    start = time.perf_counter()
+    scalar = algorithm.observe_sweep(sizes, path="scalar")
+    scalar_s = time.perf_counter() - start
+    batch = algorithm.observe_sweep(sizes, path="batch")
+    parity = (
+        batch.total_times == scalar.total_times
+        and batch.kernel_times == scalar.kernel_times
+        and batch.transfer_times == scalar.transfer_times
+    )
+    batch_s = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        algorithm.observe_sweep(sizes, path="batch")
+        batch_s = min(batch_s, time.perf_counter() - start)
+    return {
+        "name": f"sim_dense{points}/vector_addition",
+        "algorithm": algorithm.name,
+        "points": len(sizes),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        "parity": parity,
+    }
+
+
 #: The two-preset fleet of the heterogeneous-straggler section: one
 #: default (gtx650) device and one gtx980 on a shared, moderately
 #: contended host link.
@@ -290,6 +331,7 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
     factory_speedups = [entry["factory_speedup"] for entry in entries]
     dense = next(e for e in entries if e["name"].startswith("dense"))
     hetero = heterogeneous_fleet_section(repeats)
+    sim_batch = sim_batch_section(repeats)
     return {
         "benchmark": "vectorized-batch-sweep",
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -298,10 +340,12 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
         "repeats": repeats,
         "entries": entries,
         "heterogeneous_fleet": hetero,
+        "sim_batch": sim_batch,
         "summary": {
             "parity": (
                 all(entry["parity"] for entry in entries)
                 and hetero["parity"]
+                and sim_batch["parity"]
             ),
             "hetero_straggler_reduction": hetero["straggler_reduction"],
             "hetero_load_aware_beats_even": hetero["load_aware_beats_even"],
@@ -314,6 +358,8 @@ def run_benchmarks(repeats: int = 3, points: int = DENSE_POINTS) -> Dict:
             "dense_points": dense["points"],
             "dense_speedup": dense["speedup"],
             "dense_factory_speedup": dense["factory_speedup"],
+            "sim_dense_points": sim_batch["points"],
+            "sim_speedup": sim_batch["speedup"],
         },
     }
 
@@ -335,6 +381,10 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument(
         "--min-dense-speedup", type=float, default=None,
         help="fail unless the dense-sweep speedup reaches this factor",
+    )
+    parser.add_argument(
+        "--min-sim-speedup", type=float, default=None,
+        help="fail unless the batched-simulator speedup reaches this factor",
     )
     args = parser.parse_args(argv)
     report = run_benchmarks(repeats=args.repeats, points=args.points)
@@ -361,12 +411,22 @@ def main(argv: Sequence[str] = None) -> int:
         f"straggler -{hetero['straggler_reduction'] * 100:.1f}%  "
         f"{'ok' if hetero['parity'] else 'PARITY MISMATCH'}"
     )
+    sim = report["sim_batch"]
+    print(
+        f"{sim['name']:<{width}}  {sim['points']:>4} pts  "
+        f"scalar {sim['scalar_s']:8.2f} s   "
+        f"batch {sim['batch_s'] * 1e3:7.2f} ms  "
+        f"speedup {sim['speedup']:6.1f}x  "
+        f"{'ok' if sim['parity'] else 'PARITY MISMATCH'}"
+    )
     summary = report["summary"]
     print(
         f"geomean speedup {summary['geomean_speedup']:.1f}x "
         f"(factory {summary['geomean_factory_speedup']:.1f}x), "
         f"dense {summary['dense_points']}-point sweep "
-        f"{summary['dense_speedup']:.1f}x -> {args.out}"
+        f"{summary['dense_speedup']:.1f}x, simulator "
+        f"{summary['sim_dense_points']}-point sweep "
+        f"{summary['sim_speedup']:.1f}x -> {args.out}"
     )
     if not summary["parity"]:
         print("ERROR: scalar and batch paths disagree", file=sys.stderr)
@@ -385,6 +445,16 @@ def main(argv: Sequence[str] = None) -> int:
         print(
             f"ERROR: dense speedup {summary['dense_speedup']:.1f}x below "
             f"required {args.min_dense_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.min_sim_speedup is not None
+        and summary["sim_speedup"] < args.min_sim_speedup
+    ):
+        print(
+            f"ERROR: simulator speedup {summary['sim_speedup']:.1f}x below "
+            f"required {args.min_sim_speedup:.1f}x",
             file=sys.stderr,
         )
         return 1

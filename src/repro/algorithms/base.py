@@ -38,6 +38,12 @@ from repro.simulator.device_pool import DevicePool
 from repro.simulator.streams import StreamTimeline
 from repro.utils.validation import ensure_positive_int
 
+#: Evaluation strategies for observed sweeps, mirroring the prediction
+#: side's ``SWEEP_PATHS``: ``"auto"`` takes the batched simulator when the
+#: algorithm allows it, ``"batch"`` forces it, ``"scalar"`` forces the
+#: per-size loop (the parity reference).
+OBSERVE_PATHS = ("auto", "batch", "scalar")
+
 
 def chunk_bounds(n: int, chunks: int) -> List[tuple]:
     """Near-equal ``[lo, hi)`` bounds splitting ``n`` elements into chunks.
@@ -201,6 +207,19 @@ class GPUAlgorithm(abc.ABC):
     name: str = "algorithm"
     #: Human-readable description.
     description: str = ""
+    #: Whether the batched simulator (:mod:`repro.simulator.batch`) may
+    #: probe this algorithm's :meth:`run`.  The probe replays the real host
+    #: program against a recording device, which is faithful for anything
+    #: that only talks to the :class:`GPUDevice` API; set ``False`` if a
+    #: custom ``run`` inspects device timings mid-run, and ``observe_sweep``
+    #: will keep the scalar loop on ``path="auto"``.
+    sim_batch_safe: bool = True
+    #: Whether this algorithm's kernel traces depend on input *values*
+    #: rather than just indices.  ``False`` lets the batched-simulator probe
+    #: skip host-buffer copies and vectorised data fallbacks (the timing
+    #: traces cannot change); pair it with a structural :meth:`sim_inputs`
+    #: override.  Opting out requires a scalar-parity test (lint ``SIM001``).
+    sim_trace_data_dependent: bool = True
 
     # ------------------------------------------------------------------ #
     # Workload
@@ -212,6 +231,18 @@ class GPUAlgorithm(abc.ABC):
     @abc.abstractmethod
     def generate_input(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
         """Generate a random input instance of size ``n``."""
+
+    def sim_inputs(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Inputs for the batched-simulator probe (default: real inputs).
+
+        Algorithms with :attr:`sim_trace_data_dependent` ``= False``
+        override this with cheap structural stand-ins (zero arrays of the
+        right shapes and dtypes): their traces depend only on indices, so
+        the probe skips the per-size random generation the scalar path pays.
+        Data-dependent algorithms keep the default, which matches the
+        scalar ``observe`` input exactly.
+        """
+        return self.generate_input(n, seed=seed)
 
     @abc.abstractmethod
     def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -383,6 +414,60 @@ class GPUAlgorithm(abc.ABC):
         """Whether :meth:`run_sharded` is implemented for this algorithm."""
         return type(self).run_sharded is not GPUAlgorithm.run_sharded
 
+    # ------------------------------------------------------------------ #
+    # Batched-simulator plan hooks
+    # ------------------------------------------------------------------ #
+    def sim_stream_plan(
+        self,
+        n: int,
+        config: DeviceConfig,
+        chunks: int = 2,
+        pinned: bool = False,
+    ):
+        """Symbolic stream schedule of :meth:`run_streamed` at size ``n``.
+
+        Returns a :class:`~repro.simulator.batch.StreamPlan` whose operation
+        structure (streams, engines, waits), word counts and kernel timings
+        replicate what ``run_streamed`` submits — including the scalar
+        path's device-memory allocation layout, since coalescing transaction
+        counts depend on array base offsets.  The batched
+        :meth:`observe_streamed_sweep` replays these plans as array
+        programs; algorithms without a plan fall back to the scalar loop.
+        """
+        raise NotImplementedError(
+            f"algorithm {self.name!r} has no streamed batch plan"
+        )
+
+    @property
+    def supports_sim_stream_plan(self) -> bool:
+        """Whether :meth:`sim_stream_plan` is implemented."""
+        return type(self).sim_stream_plan is not GPUAlgorithm.sim_stream_plan
+
+    def sim_shard_plan(
+        self,
+        n: int,
+        config: DeviceConfig,
+        devices: int = 2,
+        contention: float = 0.0,
+        pinned: bool = False,
+        topology: Optional["Topology"] = None,
+    ):
+        """Symbolic device-pool schedule of :meth:`run_sharded` at size ``n``.
+
+        Returns a :class:`~repro.simulator.batch.ShardPlan` replicating the
+        per-device operations ``run_sharded`` submits (same allocation
+        layout, same shard bounds, same link stretches).  The batched
+        :meth:`observe_sharded_sweep` replays these plans as array programs.
+        """
+        raise NotImplementedError(
+            f"algorithm {self.name!r} has no sharded batch plan"
+        )
+
+    @property
+    def supports_sim_shard_plan(self) -> bool:
+        """Whether :meth:`sim_shard_plan` is implemented."""
+        return type(self).sim_shard_plan is not GPUAlgorithm.sim_shard_plan
+
     def observe_streamed(
         self,
         n: int,
@@ -446,14 +531,130 @@ class GPUAlgorithm(abc.ABC):
         sizes: Optional[Sequence[int]] = None,
         config: Optional[DeviceConfig] = None,
         seed: int = 0,
+        path: str = "auto",
     ) -> SweepObservation:
-        """Simulated total / kernel / transfer times over a sweep of sizes."""
+        """Simulated total / kernel / transfer times over a sweep of sizes.
+
+        ``path`` selects the evaluation strategy (:data:`OBSERVE_PATHS`):
+        ``"auto"`` evaluates the whole sweep through the batched simulator
+        (:func:`repro.simulator.batch.simulate_sweep`, bit-for-bit equal to
+        the scalar loop) unless :attr:`sim_batch_safe` is ``False``;
+        ``"scalar"`` forces the per-size reference loop.
+        """
+        if path not in OBSERVE_PATHS:
+            raise ValueError(
+                f"unknown observe path {path!r}; expected one of {OBSERVE_PATHS}"
+            )
         sizes = list(sizes) if sizes is not None else self.default_sizes()
-        records = [self.observe(int(n), config=config, seed=seed) for n in sizes]
+        # Resolved once, shared by the batch path and the fallback loop
+        # (observe passes a non-None config straight through).
+        device_config = config or DeviceConfig.gtx650()
+        if path == "batch" or (path == "auto" and self.sim_batch_safe):
+            from repro.simulator.batch import simulate_sweep
+
+            return simulate_sweep(self, sizes, config=device_config, seed=seed)
+        records = [
+            self.observe(int(n), config=device_config, seed=seed) for n in sizes
+        ]
         return SweepObservation(
             algorithm=self.name,
             sizes=[int(n) for n in sizes],
             total_times=[r.total_time_s for r in records],
             kernel_times=[r.kernel_time_s for r in records],
             transfer_times=[r.transfer_time_s for r in records],
+        )
+
+    def observe_streamed_sweep(
+        self,
+        sizes: Optional[Sequence[int]] = None,
+        config: Optional[DeviceConfig] = None,
+        chunks: int = 2,
+        seed: int = 0,
+        pinned: bool = False,
+        path: str = "auto",
+    ):
+        """Streamed makespan / serial time over a sweep of sizes.
+
+        ``"auto"`` replays the algorithm's :meth:`sim_stream_plan` through
+        the batched replay when one is implemented (bit-for-bit equal to
+        per-size :meth:`observe_streamed`); otherwise, and on
+        ``path="scalar"``, it runs the per-size loop.
+        """
+        if path not in OBSERVE_PATHS:
+            raise ValueError(
+                f"unknown observe path {path!r}; expected one of {OBSERVE_PATHS}"
+            )
+        sizes = list(sizes) if sizes is not None else self.default_sizes()
+        device_config = config or DeviceConfig.gtx650()
+        from repro.simulator.batch import (
+            StreamedSweepObservation,
+            simulate_streamed_sweep,
+        )
+
+        if path == "batch" or (path == "auto" and self.supports_sim_stream_plan):
+            return simulate_streamed_sweep(
+                self, sizes, config=device_config, chunks=chunks, pinned=pinned
+            )
+        results = [
+            self.observe_streamed(
+                int(n), config=device_config, chunks=chunks, seed=seed,
+                pinned=pinned,
+            )
+            for n in sizes
+        ]
+        return StreamedSweepObservation(
+            algorithm=self.name,
+            sizes=[int(n) for n in sizes],
+            makespans_s=[r.makespan_s for r in results],
+            serial_times_s=[r.serial_time_s for r in results],
+        )
+
+    def observe_sharded_sweep(
+        self,
+        sizes: Optional[Sequence[int]] = None,
+        config: Optional[DeviceConfig] = None,
+        devices: int = 2,
+        contention: float = 0.0,
+        seed: int = 0,
+        pinned: bool = False,
+        topology: Optional["Topology"] = None,
+        path: str = "auto",
+    ):
+        """Sharded straggler makespan / serial time over a sweep of sizes.
+
+        ``"auto"`` replays the algorithm's :meth:`sim_shard_plan` through
+        the batched replay when one is implemented (bit-for-bit equal to
+        per-size :meth:`observe_sharded`); otherwise, and on
+        ``path="scalar"``, it runs the per-size loop.
+        """
+        if path not in OBSERVE_PATHS:
+            raise ValueError(
+                f"unknown observe path {path!r}; expected one of {OBSERVE_PATHS}"
+            )
+        sizes = list(sizes) if sizes is not None else self.default_sizes()
+        device_config = config or DeviceConfig.gtx650()
+        from repro.simulator.batch import (
+            ShardedSweepObservation,
+            simulate_sharded_sweep,
+        )
+
+        if path == "batch" or (path == "auto" and self.supports_sim_shard_plan):
+            return simulate_sharded_sweep(
+                self, sizes, config=device_config, devices=devices,
+                contention=contention, pinned=pinned, topology=topology,
+            )
+        results = [
+            self.observe_sharded(
+                int(n), config=device_config, devices=devices,
+                contention=contention, seed=seed, pinned=pinned,
+                topology=topology,
+            )
+            for n in sizes
+        ]
+        return ShardedSweepObservation(
+            algorithm=self.name,
+            sizes=[int(n) for n in sizes],
+            makespans_s=[r.makespan_s for r in results],
+            serial_times_s=[r.serial_time_s for r in results],
+            device_count=results[0].device_count if results else devices,
         )

@@ -129,6 +129,10 @@ class MatrixMultiplication(GPUAlgorithm):
     name = "matrix_multiplication"
     description = "C = A x B for n x n integer matrices via shared-memory tiling"
 
+    #: Block traces depend only on indices, so the batched probe may skip
+    #: input materialisation (parity-tested in tests/test_sim_batch.py).
+    sim_trace_data_dependent = False
+
     #: Grids larger than this run via representative-block tracing.
     _functional_limit = 16
 
@@ -145,6 +149,13 @@ class MatrixMultiplication(GPUAlgorithm):
         return {
             "A": rng.integers(0, 64, size=(n, n)).astype(np.float64),
             "B": rng.integers(0, 64, size=(n, n)).astype(np.float64),
+        }
+
+    def sim_inputs(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        ensure_positive_int(n, "n")
+        return {
+            "A": np.zeros((n, n), dtype=np.float64),
+            "B": np.zeros((n, n), dtype=np.float64),
         }
 
     def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:

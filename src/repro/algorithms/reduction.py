@@ -148,6 +148,10 @@ class Reduction(GPUAlgorithm):
     name = "reduction"
     description = "Tree reduction (sum) of an n-element 0/1 vector"
 
+    #: Block traces depend only on indices, so the batched probe may skip
+    #: input materialisation (parity-tested in tests/test_sim_batch.py).
+    sim_trace_data_dependent = False
+
     #: Grids larger than this are simulated via representative-block tracing.
     _functional_limit = 4096
 
@@ -162,6 +166,10 @@ class Reduction(GPUAlgorithm):
         ensure_positive_int(n, "n")
         rng = np.random.default_rng(seed)
         return {"A": rng.integers(0, 2, size=n, dtype=np.int64)}
+
+    def sim_inputs(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        ensure_positive_int(n, "n")
+        return {"A": np.zeros(n, dtype=np.int64)}
 
     def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         return {"Ans": np.array([inputs["A"].sum()], dtype=np.int64)}
@@ -481,3 +489,88 @@ class Reduction(GPUAlgorithm):
             device_count=pool.num_devices,
             pool=pool,
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched-sweep plans (see repro.simulator.batch)
+    # ------------------------------------------------------------------ #
+    def _scratch_device(
+        self, n: int, config, partials: int
+    ) -> GPUDevice:
+        """A device with the same allocation layout as the scalar runs.
+
+        Coalesced-transaction counts depend on global-memory offsets, so
+        the plan hooks must allocate ``a`` then ``partials`` exactly as
+        :meth:`run_streamed` / :meth:`run_sharded` do.
+        """
+        device = GPUDevice(config)
+        device.allocate("a", n, dtype=np.int64)
+        device.allocate("partials", max(1, partials), dtype=np.int64)
+        return device
+
+    def sim_stream_plan(self, n, config, chunks: int = 2, pinned: bool = False):
+        from repro.simulator.batch import StreamPlan
+
+        ensure_positive_int(n, "n")
+        b = config.warp_width
+        bounds = chunk_bounds(n, chunks)
+        total_partials = sum(ceil_div((hi - lo), b) for lo, hi in bounds)
+        device = self._scratch_device(n, config, total_partials)
+        plan = StreamPlan()
+        chunk_kernel_ops = []
+        partials = 0
+        for index, (lo, hi) in enumerate(bounds):
+            m = hi - lo
+            stream = f"chunk{index}"
+            plan.h2d(stream, m, pinned=pinned)
+            kernel = ReductionRoundKernel(m, b, src="a", dst="partials")
+            chunk_kernel_ops.append(
+                plan.kernel(stream, self._timed_kernel(device, kernel))
+            )
+            partials += kernel.grid_size()
+        plan.host("final", config.sync_overhead_s, wait=chunk_kernel_ops)
+        src, dst = "partials", "a"
+        if partials > 1:
+            for size in reduction_rounds(partials, b):
+                kernel = ReductionRoundKernel(size, b, src=src, dst=dst)
+                plan.kernel("final", self._timed_kernel(device, kernel))
+                plan.host("final", config.sync_overhead_s)
+                src, dst = dst, src
+        plan.d2h("final", 1, pinned=pinned)
+        return plan
+
+    def sim_shard_plan(
+        self,
+        n,
+        config,
+        devices: int = 2,
+        contention: float = 0.0,
+        pinned: bool = False,
+        topology: Optional[Topology] = None,
+    ):
+        from repro.simulator.batch import ShardPlan
+
+        ensure_positive_int(n, "n")
+        b = config.warp_width
+        device = self._scratch_device(n, config, ceil_div(n, b))
+        pool, bounds = sharded_pool_bounds(
+            device, n, devices, contention, topology
+        )
+        plan = ShardPlan(
+            [pool.device_stretch(i) for i in range(pool.num_devices)]
+        )
+        timings: Dict[int, KernelTiming] = {}
+        for index, (lo, hi) in enumerate(bounds):
+            m = hi - lo
+            if m == 0:
+                continue
+            plan.h2d(index, m, pinned=pinned)
+            src, dst = "a", "partials"
+            for size in reduction_rounds(m, b):
+                if size not in timings:
+                    kernel = ReductionRoundKernel(size, b, src=src, dst=dst)
+                    timings[size] = self._timed_kernel(device, kernel)
+                plan.kernel(index, timings[size])
+                plan.host(index, config.sync_overhead_s)
+                src, dst = dst, src
+            plan.d2h(index, 1, pinned=pinned)
+        return plan

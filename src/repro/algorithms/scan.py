@@ -157,6 +157,10 @@ class PrefixSum(GPUAlgorithm):
     name = "prefix_sum"
     description = "Exclusive prefix sum of an n-element vector (3-phase block scan)"
 
+    #: Block traces depend only on indices, so the batched probe may skip
+    #: input materialisation (parity-tested in tests/test_sim_batch.py).
+    sim_trace_data_dependent = False
+
     _functional_limit = 4096
 
     def default_sizes(self) -> List[int]:
@@ -165,6 +169,10 @@ class PrefixSum(GPUAlgorithm):
     def generate_input(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
         rng = np.random.default_rng(seed)
         return {"A": rng.integers(0, 16, size=n).astype(np.float64)}
+
+    def sim_inputs(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        ensure_positive_int(n, "n")
+        return {"A": np.zeros(n, dtype=np.float64)}
 
     def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         a = inputs["A"]

@@ -99,6 +99,10 @@ class Stencil1D(GPUAlgorithm):
     name = "stencil_1d"
     description = "Iterated 3-point Jacobi stencil over an n-element vector"
 
+    #: Block traces depend only on indices, so the batched probe may skip
+    #: input materialisation (parity-tested in tests/test_sim_batch.py).
+    sim_trace_data_dependent = False
+
     _functional_limit = 4096
 
     def __init__(self, iterations: int = 4) -> None:
@@ -110,6 +114,10 @@ class Stencil1D(GPUAlgorithm):
     def generate_input(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
         rng = np.random.default_rng(seed)
         return {"A": rng.normal(size=n)}
+
+    def sim_inputs(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        ensure_positive_int(n, "n")
+        return {"A": np.zeros(n, dtype=np.float64)}
 
     def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         data = np.asarray(inputs["A"], dtype=np.float64)

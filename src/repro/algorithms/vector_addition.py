@@ -118,6 +118,9 @@ class VectorAddition(GPUAlgorithm):
 
     name = "vector_addition"
     description = "C = A + B over n-element integer vectors, one thread per element"
+    #: The kernel's traces depend only on element indices, so the batched
+    #: simulator probes with structural zero inputs (see :meth:`sim_inputs`).
+    sim_trace_data_dependent = False
 
     # ------------------------------------------------------------------ #
     # Workload
@@ -132,6 +135,14 @@ class VectorAddition(GPUAlgorithm):
         return {
             "A": rng.integers(0, 1 << 20, size=n, dtype=np.int64),
             "B": rng.integers(0, 1 << 20, size=n, dtype=np.int64),
+        }
+
+    def sim_inputs(self, n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        """Structural stand-ins for the probe: zeros of the real dtypes."""
+        ensure_positive_int(n, "n")
+        return {
+            "A": np.zeros(n, dtype=np.int64),
+            "B": np.zeros(n, dtype=np.int64),
         }
 
     def reference(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -389,3 +400,80 @@ class VectorAddition(GPUAlgorithm):
             device_count=pool.num_devices,
             pool=pool,
         )
+
+    # ------------------------------------------------------------------ #
+    # Batched-simulator plans
+    # ------------------------------------------------------------------ #
+    def _scratch_device(self, n: int, config) -> GPUDevice:
+        """A device with :meth:`run_streamed`'s exact allocation layout.
+
+        Coalescing transaction counts depend on each array's base offset in
+        global memory, so the scratch device allocates ``a``/``b``/``c`` at
+        full length in the same order as the scalar paths before any kernel
+        is traced.
+        """
+        device = GPUDevice(config)
+        for name in ("a", "b", "c"):
+            device.allocate(name, n, dtype=np.int64)
+        return device
+
+    def sim_stream_plan(
+        self, n: int, config, chunks: int = 2, pinned: bool = False
+    ):
+        """Symbolic twin of :meth:`run_streamed`'s stream schedule."""
+        from repro.simulator.batch import StreamPlan
+
+        ensure_positive_int(n, "n")
+        device = self._scratch_device(n, config)
+        plan = StreamPlan()
+        d2h_ops = []
+        for index, (lo, hi) in enumerate(chunk_bounds(n, chunks)):
+            m = hi - lo
+            stream = f"chunk{index}"
+            plan.h2d(stream, m, pinned=pinned)
+            plan.h2d(stream, m, pinned=pinned)
+            kernel = VectorAdditionKernel(m, config.warp_width)
+            pairs, _ = device.functional_engine.execute_sampled(kernel)
+            timing = device.timing_engine.kernel_timing(kernel.name, pairs)
+            plan.kernel(stream, timing)
+            d2h_ops.append(plan.d2h(stream, m, pinned=pinned))
+        plan.host("host", config.sync_overhead_s, wait=d2h_ops)
+        return plan
+
+    def sim_shard_plan(
+        self,
+        n: int,
+        config,
+        devices: int = 2,
+        contention: float = 0.0,
+        pinned: bool = False,
+        topology: Optional[Topology] = None,
+    ):
+        """Symbolic twin of :meth:`run_sharded`'s device-pool schedule."""
+        from repro.simulator.batch import ShardPlan
+
+        ensure_positive_int(n, "n")
+        device = self._scratch_device(n, config)
+        pool, bounds = sharded_pool_bounds(
+            device, n, devices, contention, topology
+        )
+        plan = ShardPlan(
+            [pool.device_stretch(i) for i in range(pool.num_devices)]
+        )
+        timings: Dict[int, KernelTiming] = {}
+        for index, (lo, hi) in enumerate(bounds):
+            m = hi - lo
+            if m == 0:
+                continue
+            plan.h2d(index, m, pinned=pinned)
+            plan.h2d(index, m, pinned=pinned)
+            if m not in timings:
+                kernel = VectorAdditionKernel(m, config.warp_width)
+                pairs, _ = device.functional_engine.execute_sampled(kernel)
+                timings[m] = device.timing_engine.kernel_timing(
+                    kernel.name, pairs
+                )
+            plan.kernel(index, timings[m])
+            plan.d2h(index, m, pinned=pinned)
+            plan.host(index, config.sync_overhead_s)
+        return plan

@@ -40,6 +40,8 @@ from repro.experiments.session import (
     execute_group,
     execute_spec,
     execute_specs,
+    mergeable,
+    plan_groups,
     predict_group,
     resolve_engine,
 )
@@ -88,6 +90,8 @@ __all__ = [
     "execute_group",
     "execute_spec",
     "execute_specs",
+    "mergeable",
+    "plan_groups",
     "predict_group",
     "resolve_engine",
     "ExperimentSpec",

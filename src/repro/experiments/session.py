@@ -189,26 +189,80 @@ def execute_spec(
     return Result.from_sweeps(spec, prediction, observation)
 
 
+def mergeable(spec: ExperimentSpec, other: ExperimentSpec) -> bool:
+    """Whether two specs may share one coalesced prediction group.
+
+    Specs merge when they name the same algorithm and topology and their
+    presets resolve to the **same abstract machine**: the compiled
+    :class:`MetricsBatch` is a pure function of ``(algorithm, sizes,
+    machine)``, so such specs share one union compile even under different
+    preset names.  Backend evaluation stays clustered per ``(preset,
+    backends)`` inside :func:`predict_group` — presets with one machine may
+    still differ in parameters or occupancy — which keeps every spec's
+    prediction bit-for-bit equal to evaluating it alone.
+    """
+    if spec.algorithm != other.algorithm:
+        return False
+    if spec.topology_key() != other.topology_key():
+        return False
+    if spec.preset == other.preset:
+        return True
+    return spec.resolved_preset().machine == other.resolved_preset().machine
+
+
+def plan_groups(specs: Sequence[ExperimentSpec]) -> List[List[int]]:
+    """Greedy first-fit plan of coalescing groups over a spec batch.
+
+    Returns lists of indices into ``specs``; each spec joins the first
+    group whose representative (the group's first member) it is
+    :func:`mergeable` with, else opens a new group.  Exact
+    ``(algorithm, preset, topology)`` repeats short-circuit through a key
+    map, so the quadratic representative scan only pays per *distinct*
+    key.  Concatenating the groups visits every index exactly once; order
+    within a group follows batch order.
+    """
+    groups: List[List[int]] = []
+    representatives: List[ExperimentSpec] = []
+    exact: Dict[Tuple[str, str, str], int] = {}
+    for index, spec in enumerate(specs):
+        key = (spec.algorithm, spec.preset, spec.topology_key())
+        slot = exact.get(key)
+        if slot is None:
+            for candidate, representative in enumerate(representatives):
+                if mergeable(spec, representative):
+                    slot = candidate
+                    break
+        if slot is None:
+            exact[key] = len(groups)
+            groups.append([index])
+            representatives.append(spec)
+        else:
+            exact.setdefault(key, slot)
+            groups[slot].append(index)
+    return groups
+
+
 def predict_group(
     specs: Sequence[ExperimentSpec],
     batch_cache: Optional[BatchCache] = None,
     algorithm: Optional[GPUAlgorithm] = None,
 ) -> List[SweepPrediction]:
-    """Coalesced predictions for specs sharing ``(algorithm, preset, topology)``.
+    """Coalesced predictions for a group of :func:`mergeable` specs.
 
     This is the coalescing core shared by :func:`execute_specs` and the
-    serving layer (:mod:`repro.serving`).  All specs must name the same
-    ``(algorithm, preset, topology)`` — they then describe cost-model evaluations
-    over the very same metrics, so the whole group is served by **one**
+    serving layer (:mod:`repro.serving`).  All specs must be
+    :func:`mergeable` — same algorithm and topology, presets resolving to
+    one abstract machine — so the whole group is served by **one**
     :class:`MetricsBatch` compiled over the union of its sweep sizes and
-    **one** backend evaluation per distinct backends tuple; each spec's
-    prediction is scattered back out by selecting its size columns
-    (:meth:`~repro.core.prediction.SweepPrediction.select`), bit-for-bit
-    equal to evaluating that spec alone.  Specs whose backends lack batch
-    support keep the per-spec scalar path (reports included).
+    **one** backend evaluation per distinct ``(preset, backends)`` cluster;
+    each spec's prediction is scattered back out by selecting its size
+    columns (:meth:`~repro.core.prediction.SweepPrediction.select`),
+    bit-for-bit equal to evaluating that spec alone.  Specs whose backends
+    lack batch support keep the per-spec scalar path (reports included).
 
-    A :class:`BatchCache` (when supplied) memoizes the compiled batch and
-    the union-level predictions across calls; the union prediction is looked
+    A :class:`BatchCache` (when supplied) memoizes the compiled batch
+    (keyed by machine, so equal-machine presets share entries) and the
+    cluster-level predictions across calls; the union prediction is looked
     up first, so a fully warmed cache serves the group without compiling
     anything.  Order is preserved.
     """
@@ -216,20 +270,19 @@ def predict_group(
     if not specs:
         return []
     first = specs[0]
-    first_key = (first.algorithm, first.preset, first.topology_key())
     for spec in specs[1:]:
-        if (
-            spec.algorithm, spec.preset, spec.topology_key()
-        ) != first_key:
+        if not mergeable(spec, first):
             raise ValueError(
-                "predict_group coalesces one (algorithm, preset, topology) "
-                f"group; got ({first.algorithm!r}, {first.preset!r}, "
+                "predict_group coalesces mergeable specs (one algorithm "
+                "and topology, presets resolving to one machine); got "
+                f"({first.algorithm!r}, {first.preset!r}, "
                 f"{first.topology_key()!r}) and ({spec.algorithm!r}, "
                 f"{spec.preset!r}, {spec.topology_key()!r})"
             )
     if algorithm is None:
         algorithm = create(first.algorithm)
-    preset = first.resolved_preset()
+    preset_for = [spec.resolved_preset() for spec in specs]
+    machine = preset_for[0].machine
     sizes_for = [spec.resolved_sizes(algorithm) for spec in specs]
     resolved_for = [spec.resolved_backends() for spec in specs]
     batchable = [
@@ -248,22 +301,23 @@ def predict_group(
         nonlocal batch
         if batch is None:
             def compile_union() -> MetricsBatch:
-                return algorithm.compile_batch(union, preset=preset)
+                return algorithm.compile_batch(union, preset=preset_for[0])
 
             if batch_cache is not None:
                 batch = batch_cache.batch(
-                    (algorithm.name, first.preset, tuple(union)),
+                    (algorithm.name, machine, tuple(union)),
                     compile_union,
                 )
             else:
                 batch = compile_union()
         return batch
 
-    shared: Dict[Tuple[str, ...], SweepPrediction] = {}
+    shared: Dict[tuple, SweepPrediction] = {}
     predictions: List[Optional[SweepPrediction]] = [None] * len(specs)
     for index, spec in enumerate(specs):
         sizes = sizes_for[index]
         resolved = resolved_for[index]
+        preset = preset_for[index]
         if not batchable[index]:
             predictions[index] = _rename_series(
                 algorithm.predict_sweep(
@@ -273,9 +327,10 @@ def predict_group(
                 resolved,
             )
             continue
-        union_prediction = shared.get(resolved)
+        cluster = (spec.preset, resolved)
+        union_prediction = shared.get(cluster)
         if union_prediction is None:
-            def evaluate() -> SweepPrediction:
+            def evaluate(preset=preset, resolved=resolved) -> SweepPrediction:
                 return predict_sweep_batch(
                     algorithm.name, union_batch(), preset.machine,
                     preset.parameters, preset.occupancy,
@@ -285,14 +340,14 @@ def predict_group(
             if batch_cache is not None:
                 union_prediction = batch_cache.prediction(
                     (
-                        algorithm.name, first.preset, tuple(union),
-                        resolved, first.topology_key(),
+                        algorithm.name, spec.preset, tuple(union),
+                        resolved, spec.topology_key(),
                     ),
                     evaluate,
                 )
             else:
                 union_prediction = evaluate()
-            shared[resolved] = union_prediction
+            shared[cluster] = union_prediction
         if sizes == union:
             prediction = union_prediction
         else:
@@ -310,11 +365,11 @@ def execute_group(
     batch_cache: Optional[BatchCache] = None,
     algorithm: Optional[GPUAlgorithm] = None,
 ) -> List[Result]:
-    """Execute specs sharing one ``(algorithm, preset)`` pair, coalesced.
+    """Execute one group of :func:`mergeable` specs, coalesced.
 
     Predictions come from :func:`predict_group` (one union compile, one
-    evaluation per distinct backends tuple); observations are simulated per
-    spec as always.  Order is preserved.
+    evaluation per distinct ``(preset, backends)`` cluster); observations
+    are simulated per spec as always.  Order is preserved.
     """
     specs = list(specs)
     if not specs:
@@ -341,23 +396,20 @@ def execute_specs(
 ) -> List[Result]:
     """Execute a batch of specs, sharing compiled metrics within groups.
 
-    Specs naming the same ``(algorithm, preset, topology)`` coalesce into one
-    :func:`execute_group` call: one :class:`MetricsBatch` compiled over the
-    union of the group's sweep sizes and one backend evaluation per distinct
-    backends tuple serve every spec's prediction.  Compilation goes through
-    the algorithm's array-native
+    :func:`mergeable` specs — same algorithm and topology, presets
+    resolving to one abstract machine — coalesce into one
+    :func:`execute_group` call (grouping planned greedily by
+    :func:`plan_groups`): one :class:`MetricsBatch` compiled over the union
+    of the group's sweep sizes and one backend evaluation per distinct
+    ``(preset, backends)`` cluster serve every spec's prediction.
+    Compilation goes through the algorithm's array-native
     :meth:`~repro.algorithms.base.GPUAlgorithm.metrics_batch` factory, and a
     :class:`BatchCache` (when supplied) memoizes both the compiled batches
     and the evaluated union predictions across calls.  Observations are
     simulated per spec as before.  Order is preserved.
     """
     results: List[Optional[Result]] = [None] * len(specs)
-    groups: Dict[Tuple[str, str, str], List[int]] = {}
-    for index, spec in enumerate(specs):
-        groups.setdefault(
-            (spec.algorithm, spec.preset, spec.topology_key()), []
-        ).append(index)
-    for indices in groups.values():
+    for indices in plan_groups(specs):
         group_results = execute_group(
             [specs[index] for index in indices], batch_cache=batch_cache
         )

@@ -17,6 +17,10 @@ Each rule encodes an invariant the test suite cannot exhaustively enforce:
             so the scalar and batch paths stay bitwise identical
 ``DIC001``  ``from_dict`` coverage — every deserialiser must reject
             unknown keys via the typed ``UnknownFieldError`` machinery
+``SIM001``  batched-simulator parity coverage — every ``simulate_*``
+            entry point in ``simulator/batch.py``, and every algorithm
+            opting out of data-dependent probe tracing, must be
+            exercised by a test module asserting scalar parity
 ==========  ==========================================================
 
 The rules are deliberately conservative: they reason over syntactic
@@ -486,6 +490,123 @@ class BatchParityCoverageRule(Rule):
             return False
         for test in test_files:
             if family in test.source and _PARITY_EVIDENCE.search(test.source):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------- #
+# SIM001 — batched-simulator parity coverage
+# --------------------------------------------------------------------- #
+@register_rule
+class SimBatchParityCoverageRule(Rule):
+    """SIM001: every batched simulator entry point has a scalar-parity test."""
+
+    id = "SIM001"
+    title = "batched simulator path without a scalar-parity test"
+    rationale = (
+        "The batched observation paths promise bit-for-bit agreement with "
+        "the scalar per-size loops, and algorithms asserting "
+        "sim_trace_data_dependent = False additionally promise their "
+        "traces ignore input values; either claim can drift silently "
+        "unless a test compares the two paths exactly."
+    )
+    #: File the batched entry points live in.
+    batch_suffix = "simulator/batch.py"
+    #: Directory of the per-algorithm opt-outs.
+    algorithms_part = "algorithms"
+
+    def check(self, ctx: PackageContext) -> Iterator[Finding]:
+        if not ctx.test_files:
+            # No test tree to cross-reference (fixture runs).
+            return
+        for source in ctx.files:
+            if source.path.endswith(self.batch_suffix):
+                yield from self._check_entry_points(source, ctx)
+            if f"/{self.algorithms_part}/" in source.path.replace("\\", "/"):
+                yield from self._check_opt_outs(source, ctx)
+
+    def _check_entry_points(
+        self, source: SourceFile, ctx: PackageContext
+    ) -> Iterator[Finding]:
+        for node in source.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith("simulate_"):
+                continue
+            if not self._has_parity_test(node.name, ctx.test_files):
+                yield self.finding(
+                    source, node.lineno,
+                    f"batched simulator entry point {node.name!r} has no "
+                    "scalar-parity test (looked for its name plus "
+                    "'parity'/'bitwise'/'bit-for-bit' in the test tree); "
+                    "bit-for-bit agreement with the scalar path is the "
+                    "function's contract",
+                )
+
+    def _check_opt_outs(
+        self, source: SourceFile, ctx: PackageContext
+    ) -> Iterator[Finding]:
+        for cls in ast.walk(source.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            opt_out = self._opt_out_assignment(cls)
+            if opt_out is None:
+                continue
+            algorithm = self._algorithm_name(cls)
+            if not self._has_parity_test(algorithm, ctx.test_files):
+                yield self.finding(
+                    source, opt_out.lineno,
+                    f"algorithm {algorithm!r} sets "
+                    "sim_trace_data_dependent = False but no test module "
+                    "mentions it together with a scalar-parity assertion; "
+                    "the opt-out is only sound while a parity test proves "
+                    "the traces ignore input values",
+                )
+
+    @staticmethod
+    def _opt_out_assignment(cls: ast.ClassDef) -> Optional[ast.stmt]:
+        """The ``sim_trace_data_dependent = False`` statement, if present."""
+        for stmt in cls.body:
+            targets: List[ast.expr] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not (
+                isinstance(value, ast.Constant) and value.value is False
+            ):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "sim_trace_data_dependent"
+                ):
+                    return stmt
+        return None
+
+    @staticmethod
+    def _algorithm_name(cls: ast.ClassDef) -> str:
+        """The class's ``name = "..."`` attribute, else the class name."""
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "name"
+                    for t in stmt.targets
+                )
+            ):
+                return stmt.value.value
+        return cls.name
+
+    @staticmethod
+    def _has_parity_test(
+        needle: str, test_files: Sequence[SourceFile]
+    ) -> bool:
+        for test in test_files:
+            if needle in test.source and _PARITY_EVIDENCE.search(test.source):
                 return True
         return False
 

@@ -119,15 +119,21 @@ class RequestQueue:
     ``put`` enqueues under the bounds; ``take`` blocks until a group is
     available, asks the scheduling policy to choose one, and removes the
     whole group atomically (that removal *is* the coalescing decision —
-    everything pending under the chosen key dispatches together).  The
-    admitted-size account is only credited back via :meth:`task_done`, so
-    in-flight work keeps exerting backpressure until it completes.
+    everything pending under the chosen key dispatches together).  With
+    ``merge_groups`` (the default), the take additionally absorbs every
+    other pending key of the same algorithm and mode whose specs are
+    :func:`~repro.experiments.session.mergeable` with the chosen group —
+    equal-machine presets then share the dispatched union compile instead
+    of waiting for their own turn.  The admitted-size account is only
+    credited back via :meth:`task_done`, so in-flight work keeps exerting
+    backpressure until it completes.
     """
 
     def __init__(
         self,
         max_queue_depth: int = 256,
         max_inflight_sizes: int = 1_000_000,
+        merge_groups: bool = True,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be at least 1")
@@ -135,6 +141,7 @@ class RequestQueue:
             raise ValueError("max_inflight_sizes must be at least 1")
         self.max_queue_depth = max_queue_depth
         self.max_inflight_sizes = max_inflight_sizes
+        self.merge_groups = merge_groups
         self._pending: Dict[
             Tuple[str, str, str, str], List[PredictionRequest]
         ] = {}
@@ -215,7 +222,9 @@ class RequestQueue:
         policy's ``select`` and ``record_dispatch`` run under the queue lock
         — policies are cheap orderings, and this keeps their internal
         accounting (e.g. fair-share service totals) atomic with the
-        dispatch decision.
+        dispatch decision.  With :attr:`merge_groups`, other pending keys
+        mergeable with the chosen one ride along in the returned group
+        (still under the chosen key, whose mode every rider shares).
         """
         with self._condition:
             while not self._pending:
@@ -235,6 +244,21 @@ class RequestQueue:
                     f"{chosen.key!r} that is not pending"
                 )
             requests = self._pending.pop(chosen.key)
+            if self.merge_groups and self._pending:
+                # Imported lazily: the session layer imports serving-free
+                # modules only, but keeping queue.py import-light at module
+                # load avoids any future cycle through repro.experiments.
+                from repro.experiments.session import mergeable
+
+                representative = requests[0].spec
+                riders = [
+                    key for key in self._pending
+                    if key[0] == chosen.key[0]
+                    and key[2] == chosen.key[2]
+                    and mergeable(self._pending[key][0].spec, representative)
+                ]
+                for key in riders:
+                    requests.extend(self._pending.pop(key))
             group = CoalescedGroup(key=chosen.key, requests=tuple(requests))
             self._depth -= len(requests)
             policy.record_dispatch(group, now)

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.topology import Topology, contention_stretch
 from repro.core.transfer import TransferDirection
 from repro.simulator.config import DeviceConfig
@@ -30,6 +32,27 @@ from repro.simulator.streams import Stream, StreamOp, StreamOpKind, StreamTimeli
 from repro.simulator.timing import KernelTiming
 from repro.simulator.transfer_engine import TransferEngine, TransferRecord
 from repro.utils.validation import ensure_in_range, ensure_positive_int
+
+
+def contended_duration_grid(config: DeviceConfig, base_durations, stretch: float):
+    """Vectorized twin of :meth:`DevicePool.transfer_duration` over durations.
+
+    Takes the *uncontended* per-size durations (from
+    :func:`~repro.simulator.transfer_engine.duration_grid`) and one device's
+    link stretch, and applies the pool's contention formula elementwise:
+    zero-duration markers stay free, everything else keeps its fixed DMA
+    latency and stretches only the streaming portion.  Same float operand
+    order as the scalar method, so results are bit-for-bit equal.
+    """
+    base = np.asarray(base_durations, dtype=float)
+    if stretch == 1.0:
+        return base
+    streaming = base - config.transfer_latency_s
+    return np.where(
+        base == 0.0,
+        base,
+        config.transfer_latency_s + streaming * stretch,
+    )
 
 
 class DevicePool:

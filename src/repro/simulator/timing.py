@@ -31,6 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.occupancy import blocks_per_multiprocessor_grid, wave_count_grid
 from repro.simulator.config import DeviceConfig
 from repro.simulator.scheduler import BlockScheduler, SchedulePlan
 from repro.simulator.trace import BlockTrace, KernelCounters
@@ -160,3 +163,101 @@ class TimingEngine:
         """Convenience wrapper for fully-enumerated traces (multiplicity one)."""
         pairs = [(trace, 1) for trace in traces]
         return self.kernel_timing(kernel_name, pairs, shared_words_per_block)
+
+
+@dataclass(frozen=True)
+class KernelTimingGrid:
+    """Timing results for a grid of kernel launches (launches × sizes).
+
+    The batched analogue of :class:`KernelTiming`: every field is an array
+    over the grid, mirroring how ``MetricsGrid`` holds rounds × sizes cost
+    inputs.  Elements are bit-for-bit equal to what the scalar
+    :meth:`TimingEngine.kernel_timing` produces for the corresponding launch.
+    """
+
+    num_blocks: np.ndarray
+    blocks_per_sm: np.ndarray
+    waves: np.ndarray
+    issue_bound_cycles: np.ndarray
+    latency_bound_cycles: np.ndarray
+    bandwidth_bound_cycles: np.ndarray
+    cycles: np.ndarray
+    device_time_s: np.ndarray
+    launch_overhead_s: float
+
+    @property
+    def total_time_s(self) -> np.ndarray:
+        """Device time plus host-side launch overhead, per launch."""
+        return self.device_time_s + self.launch_overhead_s
+
+    @property
+    def limiting_factors(self) -> np.ndarray:
+        """Which bound dominated each launch's wave time.
+
+        Replicates the scalar tie order (first maximum wins in dict order:
+        issue, then latency, then bandwidth).
+        """
+        issue = self.issue_bound_cycles
+        latency = self.latency_bound_cycles
+        bandwidth = self.bandwidth_bound_cycles
+        return np.where(
+            (issue >= latency) & (issue >= bandwidth),
+            "issue",
+            np.where(latency >= bandwidth, "latency", "bandwidth"),
+        )
+
+
+def kernel_timing_grid(
+    config: DeviceConfig,
+    num_blocks,
+    total_issue_cycles,
+    total_latency_cycles,
+    global_words,
+    shared_words_per_block,
+) -> KernelTimingGrid:
+    """Vectorized twin of :meth:`TimingEngine.kernel_timing`.
+
+    Inputs are per-launch aggregates (any common shape, e.g. launches ×
+    sizes): grid sizes, the trace-weighted total issue and latency cycles,
+    total global words, and the per-block shared-memory footprint the
+    scheduler plans with.  Aggregation over block traces stays with the
+    caller — it is order-sensitive float accumulation — while everything
+    downstream of the aggregates is elementwise and replicates the scalar
+    operand order exactly.
+    """
+    blocks = np.asarray(num_blocks, dtype=np.int64)
+    total_issue = np.asarray(total_issue_cycles, dtype=float)
+    total_latency = np.asarray(total_latency_cycles, dtype=float)
+    words = np.asarray(global_words, dtype=float)
+    if np.any(blocks <= 0):
+        raise ValueError("kernel_timing_grid requires positive grid sizes")
+    resident = blocks_per_multiprocessor_grid(
+        config.shared_memory_words,
+        np.asarray(shared_words_per_block, dtype=float),
+        config.max_blocks_per_sm,
+    )
+    waves = wave_count_grid(blocks, config.num_sms, resident)
+
+    mean_issue = total_issue / blocks
+    mean_latency = total_latency / blocks
+    mean_words = words / blocks
+    bandwidth_share = config.global_bandwidth_words_per_cycle / config.num_sms
+
+    issue_bound = resident * mean_issue
+    latency_bound = mean_latency + mean_issue
+    bandwidth_bound = resident * mean_words / bandwidth_share
+
+    wave_cycles = np.maximum(np.maximum(issue_bound, latency_bound), bandwidth_bound)
+    total_cycles = waves * wave_cycles + config.global_latency_cycles
+    device_time = total_cycles / config.clock_hz
+    return KernelTimingGrid(
+        num_blocks=blocks,
+        blocks_per_sm=resident,
+        waves=waves,
+        issue_bound_cycles=issue_bound,
+        latency_bound_cycles=latency_bound,
+        bandwidth_bound_cycles=bandwidth_bound,
+        cycles=total_cycles,
+        device_time_s=device_time,
+        launch_overhead_s=config.kernel_launch_overhead_s,
+    )

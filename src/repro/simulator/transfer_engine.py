@@ -19,6 +19,8 @@ from typing import List, Tuple
 
 import numbers
 
+import numpy as np
+
 from repro.core.transfer import TransferDirection
 from repro.simulator.config import WORD_BYTES, DeviceConfig
 from repro.utils.validation import ensure_non_negative
@@ -41,6 +43,42 @@ def validate_word_count(words, name: str = "words") -> int:
         )
     ensure_non_negative(as_float, name)
     return int(as_float)
+
+
+def duration_grid(
+    config: DeviceConfig,
+    words,
+    direction: TransferDirection,
+    pinned: bool = False,
+):
+    """Vectorized twin of :meth:`TransferEngine.duration` over word arrays.
+
+    ``words`` is an integer array of per-size word counts; the result is a
+    float array of durations with the same shape.  Each element follows the
+    scalar path exactly: zero-word transfers are free markers, everything
+    else pays ``transfer_latency_s`` plus streaming time at the direction's
+    (optionally pinned-scaled) bandwidth.  ``int64 → float64`` conversion and
+    the ``words * WORD_BYTES / bandwidth`` operand order match the scalar
+    expression, so the durations are bit-for-bit identical.
+    """
+    counts = np.asarray(words)
+    if not np.issubdtype(counts.dtype, np.integer):
+        as_float = np.asarray(counts, dtype=float)
+        if np.any(as_float != np.floor(as_float)):
+            raise ValueError("words must be whole numbers of words")
+        counts = as_float.astype(np.int64)
+    if np.any(counts < 0):
+        raise ValueError("words must be non-negative")
+    if direction is TransferDirection.HOST_TO_DEVICE:
+        bandwidth = config.h2d_bandwidth_bytes_per_s
+    elif direction is TransferDirection.DEVICE_TO_HOST:
+        bandwidth = config.d2h_bandwidth_bytes_per_s
+    else:  # pragma: no cover - defensive
+        raise TypeError("direction must be a TransferDirection")
+    if pinned:
+        bandwidth *= config.pinned_speedup
+    streaming = counts * WORD_BYTES / bandwidth
+    return np.where(counts == 0, 0.0, config.transfer_latency_s + streaming)
 
 
 @dataclass(frozen=True)

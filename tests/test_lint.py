@@ -302,6 +302,99 @@ class TestBatchParityCoverage:
 
 
 # --------------------------------------------------------------------- #
+# SIM001 — batched-simulator parity coverage
+# --------------------------------------------------------------------- #
+SIM_BATCH_MODULE = src(
+    """
+    def simulate_sweep(algorithm, sizes):
+        return evaluate(algorithm, sizes)
+
+    def _helper(x):
+        return x
+    """
+)
+
+SIM_OPT_OUT_ALGORITHM = src(
+    """
+    class VectorAddition(GPUAlgorithm):
+        name = "vector_addition"
+        sim_trace_data_dependent = False
+    """
+)
+
+SIM_PARITY_TEST = src(
+    """
+    def test_simulate_sweep_parity():
+        assert simulate_sweep(alg, sizes) == scalar  # bit-for-bit parity
+
+    def test_vector_addition_parity():
+        assert batch("vector_addition") == scalar("vector_addition")  # parity
+    """
+)
+
+
+class TestSimBatchParityCoverage:
+    def test_fires_for_uncovered_entry_point_and_opt_out(self):
+        found = findings_for(
+            "SIM001",
+            {
+                "pkg/simulator/batch.py": SIM_BATCH_MODULE,
+                "pkg/algorithms/vector_addition.py": SIM_OPT_OUT_ALGORITHM,
+            },
+            tests={"tests/test_other.py": "def test_nothing():\n    pass\n"},
+        )
+        assert len(found) == 2
+        assert any("'simulate_sweep'" in f.message for f in found)
+        assert any("'vector_addition'" in f.message for f in found)
+
+    def test_clean_with_parity_tests(self):
+        found = findings_for(
+            "SIM001",
+            {
+                "pkg/simulator/batch.py": SIM_BATCH_MODULE,
+                "pkg/algorithms/vector_addition.py": SIM_OPT_OUT_ALGORITHM,
+            },
+            tests={"tests/test_sim_batch.py": SIM_PARITY_TEST},
+        )
+        assert found == []
+
+    def test_name_without_parity_vocabulary_does_not_count(self):
+        found = findings_for(
+            "SIM001",
+            {"pkg/simulator/batch.py": SIM_BATCH_MODULE},
+            tests={
+                "tests/test_smoke.py": (
+                    "def test_smoke():\n    simulate_sweep(alg, [1])\n"
+                )
+            },
+        )
+        assert len(found) == 1
+
+    def test_skipped_without_test_tree(self):
+        found = findings_for(
+            "SIM001",
+            {"pkg/simulator/batch.py": SIM_BATCH_MODULE},
+            tests=None,
+        )
+        assert found == []
+
+    def test_data_dependent_true_is_not_checked(self):
+        algorithm = src(
+            """
+            class Histogram(GPUAlgorithm):
+                name = "histogram"
+                sim_trace_data_dependent = True
+            """
+        )
+        found = findings_for(
+            "SIM001",
+            {"pkg/algorithms/histogram.py": algorithm},
+            tests={"tests/test_other.py": "def test_nothing():\n    pass\n"},
+        )
+        assert found == []
+
+
+# --------------------------------------------------------------------- #
 # FRZ001 — frozen-type mutation
 # --------------------------------------------------------------------- #
 FRZ_VIOLATING = src(
@@ -548,9 +641,9 @@ class TestEngine:
         assert report.findings[0].rule == "PARSE"
         assert not report.ok
 
-    def test_registry_has_all_five_rules(self):
+    def test_registry_has_all_core_rules(self):
         assert {
-            "LCK001", "PAR001", "FRZ001", "CEIL001", "DIC001"
+            "LCK001", "PAR001", "FRZ001", "CEIL001", "DIC001", "SIM001"
         } <= set(RULE_REGISTRY)
 
     def test_unknown_rule_name_raises(self):
@@ -640,7 +733,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("LCK001", "PAR001", "FRZ001", "CEIL001", "DIC001"):
+        for rule_id in ("LCK001", "PAR001", "FRZ001", "CEIL001", "DIC001",
+                        "SIM001"):
             assert rule_id in out
 
     def test_module_entry_point(self, tmp_path):
@@ -668,7 +762,7 @@ class TestSelfHosting:
     def test_every_rule_ran(self):
         report = lint_paths([PACKAGE_ROOT], tests_root=TESTS_ROOT)
         assert {
-            "LCK001", "PAR001", "FRZ001", "CEIL001", "DIC001"
+            "LCK001", "PAR001", "FRZ001", "CEIL001", "DIC001", "SIM001"
         } <= set(report.rules)
 
     def test_known_suppressions_carry_reasons(self):

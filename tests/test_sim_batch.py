@@ -1,0 +1,320 @@
+"""Bit-for-bit parity of the batched simulator and mergeable spec groups.
+
+The batched observation paths (:mod:`repro.simulator.batch`) promise
+**exact** float equality with the scalar per-size loops — every test here
+compares with ``==``, never with a tolerance.  The mergeable group planner
+(:func:`repro.experiments.session.plan_groups`) promises the same for
+scattered union-batch predictions.
+"""
+
+from concurrent.futures import Future
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.algorithms import create
+from repro.core.presets import get_preset, register_preset
+from repro.core.topology import Topology
+from repro.experiments import ExperimentSpec, mergeable, plan_groups, predict_group
+from repro.serving.policies import FIFOPolicy
+from repro.serving.queue import PredictionRequest, RequestQueue
+from repro.simulator.batch import (
+    ProbeDevice,
+    simulate_sharded_sweep,
+    simulate_streamed_sweep,
+    simulate_sweep,
+)
+from repro.simulator.config import DeviceConfig
+from repro.simulator.streams import StreamOpKind, StreamTimeline
+from repro.simulator.streams import pipeline_makespan_grid
+
+#: Every registered algorithm appears here by name so the SIM001 lint rule
+#: (and a human reader) can see the parity net has no holes.
+ALL_ALGORITHMS = [
+    "vector_addition",
+    "reduction",
+    "prefix_sum",
+    "stencil_1d",
+    "matrix_multiplication",
+    "histogram",
+    "spmv",
+]
+
+#: Sweep sizes per device config; matmul sizes are matrix dims, so smaller.
+SIZES = {"gtx650": [5, 33, 64], "tiny": [5, 33, 64]}
+MATMUL_SIZES = {"gtx650": [32, 64], "tiny": [4, 8]}
+
+CONFIGS = {
+    "gtx650": DeviceConfig.gtx650,
+    "tiny": DeviceConfig.tiny_test_device,
+}
+
+
+def sweep_sizes(name: str, config_name: str) -> list:
+    table = MATMUL_SIZES if name == "matrix_multiplication" else SIZES
+    return table[config_name]
+
+
+class TestSweepParity:
+    """simulate_sweep == the scalar observe_sweep loop, bit for bit."""
+
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_batch_equals_scalar_bit_for_bit(self, name, config_name):
+        algorithm = create(name)
+        config = CONFIGS[config_name]()
+        sizes = sweep_sizes(name, config_name)
+        scalar = algorithm.observe_sweep(sizes, config=config, path="scalar")
+        batch = algorithm.observe_sweep(sizes, config=config, path="batch")
+        assert batch.total_times == scalar.total_times
+        assert batch.kernel_times == scalar.kernel_times
+        assert batch.transfer_times == scalar.transfer_times
+
+    @pytest.mark.parametrize("name,sizes", [
+        ("vector_addition", [200000, 300001]),
+        ("reduction", [300000]),
+        ("matrix_multiplication", [64, 96]),
+    ])
+    def test_sampled_path_parity(self, name, sizes):
+        # Large grids take the representative-block sampled path; the
+        # probe must replicate the scalar launch decision exactly.
+        algorithm = create(name)
+        scalar = algorithm.observe_sweep(sizes, path="scalar")
+        batch = algorithm.observe_sweep(sizes, path="batch")
+        assert batch.total_times == scalar.total_times
+
+    def test_degenerate_single_size_sweep(self):
+        algorithm = create("vector_addition")
+        scalar = algorithm.observe_sweep([64], path="scalar")
+        batch = algorithm.observe_sweep([64], path="batch")
+        assert batch.total_times == scalar.total_times
+        assert batch.sizes == scalar.sizes
+
+    def test_auto_path_matches_scalar(self):
+        algorithm = create("reduction")
+        auto = algorithm.observe_sweep([5, 64])
+        scalar = algorithm.observe_sweep([5, 64], path="scalar")
+        assert auto.total_times == scalar.total_times
+
+    def test_unknown_path_rejected(self):
+        algorithm = create("vector_addition")
+        with pytest.raises(ValueError, match="path"):
+            algorithm.observe_sweep([64], path="warp")
+
+    def test_simulate_sweep_direct(self):
+        algorithm = create("histogram")
+        observation = simulate_sweep(algorithm, [5, 33])
+        assert observation.sizes == [5, 33]
+        assert all(t > 0.0 for t in observation.total_times)
+
+
+class TestStreamedShardedParity:
+    """Plan-replay parity for the overlapped and sharded observations."""
+
+    @pytest.mark.parametrize("chunks", [2, 3])
+    @pytest.mark.parametrize("name", ["vector_addition", "reduction"])
+    def test_streamed_parity(self, name, chunks):
+        algorithm = create(name)
+        sizes = [5, 33, 64, 1000, 4097]
+        scalar = algorithm.observe_streamed_sweep(
+            sizes, chunks=chunks, path="scalar"
+        )
+        batch = algorithm.observe_streamed_sweep(
+            sizes, chunks=chunks, path="batch"
+        )
+        assert batch.makespans_s == scalar.makespans_s
+        assert batch.serial_times_s == scalar.serial_times_s
+
+    @pytest.mark.parametrize("name", ["vector_addition", "reduction"])
+    def test_streamed_pinned_parity(self, name):
+        algorithm = create(name)
+        scalar = algorithm.observe_streamed_sweep(
+            [33, 1000], pinned=True, path="scalar"
+        )
+        batch = algorithm.observe_streamed_sweep(
+            [33, 1000], pinned=True, path="batch"
+        )
+        assert batch.makespans_s == scalar.makespans_s
+
+    @pytest.mark.parametrize("kwargs", [
+        {"devices": 2},
+        {"devices": 3, "contention": 0.4},
+        {"topology": Topology.homogeneous(3, contention=0.5)},
+    ])
+    @pytest.mark.parametrize("name", ["vector_addition", "reduction"])
+    def test_sharded_parity(self, name, kwargs):
+        algorithm = create(name)
+        sizes = [5, 33, 64, 1000, 4097]
+        scalar = algorithm.observe_sharded_sweep(
+            sizes, path="scalar", **kwargs
+        )
+        batch = algorithm.observe_sharded_sweep(sizes, path="batch", **kwargs)
+        assert batch.makespans_s == scalar.makespans_s
+        assert batch.serial_times_s == scalar.serial_times_s
+        assert batch.device_count == scalar.device_count
+
+    def test_simulate_streamed_sweep_direct_parity(self):
+        # The entry point itself (not just the observe_* façade) must be
+        # bit-for-bit equal to the scalar per-size loop.
+        algorithm = create("vector_addition")
+        sizes = [33, 1000]
+        batch = simulate_streamed_sweep(algorithm, sizes, chunks=3)
+        per_size = [algorithm.observe_streamed(n, chunks=3) for n in sizes]
+        assert batch.makespans_s == [r.makespan_s for r in per_size]
+        assert batch.serial_times_s == [r.serial_time_s for r in per_size]
+
+    def test_simulate_sharded_sweep_direct_parity(self):
+        algorithm = create("reduction")
+        sizes = [33, 1000]
+        batch = simulate_sharded_sweep(
+            algorithm, sizes, devices=3, contention=0.4
+        )
+        per_size = [
+            algorithm.observe_sharded(n, devices=3, contention=0.4)
+            for n in sizes
+        ]
+        assert batch.makespans_s == [r.makespan_s for r in per_size]
+        assert batch.serial_times_s == [r.serial_time_s for r in per_size]
+
+    def test_unsupported_plan_falls_back_to_scalar(self):
+        # An algorithm without a stream plan hook loops per size on auto.
+        from repro.algorithms.base import GPUAlgorithm
+        from repro.algorithms.vector_addition import VectorAddition
+
+        class PlanlessVectorAddition(VectorAddition):
+            sim_stream_plan = GPUAlgorithm.sim_stream_plan
+
+        algorithm = PlanlessVectorAddition()
+        assert not algorithm.supports_sim_stream_plan
+        sizes = [33, 64]
+        swept = algorithm.observe_streamed_sweep(sizes)
+        per_size = [algorithm.observe_streamed(n) for n in sizes]
+        assert swept.makespans_s == [r.makespan_s for r in per_size]
+
+
+class TestProbeDevice:
+    def test_probe_replays_launch_decisions(self):
+        algorithm = create("vector_addition")
+        device = ProbeDevice(DeviceConfig.gtx650(), data_dependent=False)
+        algorithm.run(device, algorithm.sim_inputs(64))
+        kinds = [type(op).__name__ for op in device.ops]
+        assert kinds.count("ProbeTransfer") == 3  # a, b in; c out
+        assert kinds.count("ProbeKernel") == 1
+        assert kinds.count("ProbeSync") == 1
+
+
+class TestPipelineMakespanGrid:
+    def test_matches_stream_timeline_loop(self):
+        rng = np.random.default_rng(7)
+        chunks, stages, widths = 3, 2, 4
+        grid = rng.uniform(0.1, 1.0, size=(chunks, stages, widths))
+        batched = pipeline_makespan_grid(grid)
+        for column in range(widths):
+            timeline = StreamTimeline()
+            kinds = [StreamOpKind.H2D, StreamOpKind.KERNEL]
+            for chunk in range(chunks):
+                stream = timeline.stream(f"chunk{chunk}")
+                for stage in range(stages):
+                    timeline.submit(
+                        stream, kinds[stage], grid[chunk, stage, column]
+                    )
+            assert batched[column] == timeline.makespan_s
+
+
+class TestMergeableGroups:
+    def _twin_preset(self, name="gtx650-parity-twin"):
+        preset = replace(get_preset("gtx650"), name=name)
+        register_preset(preset, overwrite=True)
+        return preset
+
+    def test_same_machine_presets_merge(self):
+        self._twin_preset()
+        a = ExperimentSpec("vector_addition", sizes=[64], preset="gtx650")
+        b = ExperimentSpec(
+            "vector_addition", sizes=[128], preset="gtx650-parity-twin"
+        )
+        assert mergeable(a, b)
+        assert plan_groups([a, b]) == [[0, 1]]
+
+    def test_rejects_other_algorithm_or_machine(self):
+        a = ExperimentSpec("vector_addition", sizes=[64])
+        b = ExperimentSpec("reduction", sizes=[64])
+        c = ExperimentSpec("vector_addition", sizes=[64], preset="gtx1080")
+        assert not mergeable(a, b)
+        assert not mergeable(a, c)
+        assert plan_groups([a, b, c]) == [[0], [1], [2]]
+
+    def test_rejects_mixed_topologies(self):
+        a = ExperimentSpec("vector_addition", sizes=[64])
+        b = a.with_overrides(topology=Topology.homogeneous(2))
+        assert not mergeable(a, b)
+
+    def test_predict_group_refuses_unmergeable(self):
+        a = ExperimentSpec("vector_addition", sizes=[64])
+        b = ExperimentSpec("vector_addition", sizes=[64], preset="gtx1080")
+        with pytest.raises(ValueError, match="mergeable"):
+            predict_group([a, b])
+
+    def test_union_batch_scatter_parity(self):
+        # A merged group's scattered predictions equal isolated evaluation
+        # bit for bit, preset names notwithstanding.
+        self._twin_preset()
+        a = ExperimentSpec("vector_addition", sizes=[64, 128], preset="gtx650")
+        b = ExperimentSpec(
+            "vector_addition", sizes=[128, 256], preset="gtx650-parity-twin"
+        )
+        merged = predict_group([a, b])
+        for index, spec in enumerate([a, b]):
+            solo = predict_group([spec])[0]
+            assert merged[index].series.keys() == solo.series.keys()
+            for backend in solo.series:
+                assert np.array_equal(
+                    merged[index].series[backend], solo.series[backend]
+                )
+
+
+class TestRequestQueueMerging:
+    def _put(self, queue, spec, mode="predict"):
+        request = PredictionRequest(spec=spec, future=Future(), mode=mode)
+        queue.put(request)
+        return request
+
+    def _twin_spec(self):
+        register_preset(
+            replace(get_preset("gtx650"), name="gtx650-queue-twin"),
+            overwrite=True,
+        )
+        return ExperimentSpec(
+            "vector_addition", sizes=[128], preset="gtx650-queue-twin"
+        )
+
+    def test_take_merges_mergeable_keys(self):
+        queue = RequestQueue()
+        first = self._put(
+            queue, ExperimentSpec("vector_addition", sizes=[64])
+        )
+        rider = self._put(queue, self._twin_spec())
+        other = self._put(queue, ExperimentSpec("reduction", sizes=[64]))
+        group = queue.take(FIFOPolicy())
+        assert {r.request_id for r in group.requests} == {
+            first.request_id, rider.request_id,
+        }
+        assert queue.depth == 1  # the reduction request stays pending
+        leftover = queue.take(FIFOPolicy())
+        assert leftover.requests == (other,)
+
+    def test_take_keeps_modes_apart(self):
+        queue = RequestQueue()
+        self._put(queue, ExperimentSpec("vector_addition", sizes=[64]))
+        self._put(queue, self._twin_spec(), mode="result")
+        group = queue.take(FIFOPolicy())
+        assert len(group.requests) == 1
+
+    def test_merge_opt_out(self):
+        queue = RequestQueue(merge_groups=False)
+        self._put(queue, ExperimentSpec("vector_addition", sizes=[64]))
+        self._put(queue, self._twin_spec())
+        group = queue.take(FIFOPolicy())
+        assert len(group.requests) == 1
+        assert queue.depth == 1
